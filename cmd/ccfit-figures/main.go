@@ -1,0 +1,107 @@
+// Command ccfit-figures regenerates the paper's evaluation: every
+// table and figure (Table I, Figs. 7a-7c, 8a-8c, 9, 10), printing the
+// series the paper plots and, optionally, CSV files for plotting.
+//
+// Usage:
+//
+//	ccfit-figures [-seed N] [-csv DIR] [-summary] [experiment ...]
+//
+// With no experiment ids, all of them run in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	ccfit "repro"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed (identical seeds give identical runs)")
+	seeds := flag.Int("seeds", 1, "replications per scheme (seeds seed..seed+N-1); >1 prints mean±sd tables")
+	csvDir := flag.String("csv", "", "also write one CSV per experiment into this directory")
+	summary := flag.Bool("summary", true, "print per-scheme congestion-management counters")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ccfit-figures [flags] [experiment ...]\navailable experiments:\n")
+		for _, e := range ccfit.Experiments() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.ID, e.Title)
+		}
+		fmt.Fprintln(os.Stderr, "extras (not run by default):")
+		for _, e := range ccfit.ExtraExperiments() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.ID, e.Title)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range ccfit.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, id := range ids {
+		exp, err := ccfit.ExperimentByID(id)
+		if err != nil {
+			fatal(err)
+		}
+		if exp.ID == "table1" {
+			ccfit.RenderTable1(os.Stdout)
+			fmt.Println()
+			continue
+		}
+		if *seeds > 1 {
+			var seedList []int64
+			for i := 0; i < *seeds; i++ {
+				seedList = append(seedList, *seed+int64(i))
+			}
+			var reps []*ccfit.Replication
+			for _, s := range exp.Schemes {
+				rep, err := ccfit.RunSeeds(exp, s, seedList)
+				if err != nil {
+					fatal(err)
+				}
+				reps = append(reps, rep)
+			}
+			ccfit.RenderReplications(os.Stdout, exp, reps)
+			fmt.Println()
+			continue
+		}
+		results, err := ccfit.RunAll(exp, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		switch exp.FlowIDs {
+		case nil:
+			ccfit.RenderThroughput(os.Stdout, exp, results)
+		default:
+			ccfit.RenderFlows(os.Stdout, exp, results)
+		}
+		if *summary {
+			ccfit.RenderSummary(os.Stdout, results)
+		}
+		if *csvDir != "" {
+			f, err := os.Create(filepath.Join(*csvDir, exp.ID+".csv"))
+			if err != nil {
+				fatal(err)
+			}
+			ccfit.WriteCSV(f, exp, results)
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccfit-figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command ccfit-loadcurve produces the classic accepted-versus-offered
+// load curve: uniform traffic on a chosen configuration is swept from
+// light load to saturation, and for each offered load the delivered
+// (normalized) throughput and latency percentiles are reported per
+// scheme. This locates each scheme's saturation point — context the
+// paper assumes when it injects "at 100% of the link bandwidth".
+//
+// Usage:
+//
+//	ccfit-loadcurve -config 2 -schemes 1Q,VOQsw,VOQnet,FBICM,CCFIT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	ccfit "repro"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+func main() {
+	cfg := flag.Int("config", 2, "network configuration (2 or 3)")
+	schemes := flag.String("schemes", "1Q,VOQsw,DBBM,OBQA,FBICM,VOQnet", "comma-separated scheme list")
+	msFlag := flag.Float64("ms", 1.0, "simulated milliseconds per point")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	points := flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1.0", "offered loads (fraction of link rate)")
+	flag.Parse()
+
+	var ft *topo.FatTree
+	switch *cfg {
+	case 2:
+		ft = topo.Config2()
+	case 3:
+		ft = topo.Config3()
+	default:
+		fmt.Fprintln(os.Stderr, "ccfit-loadcurve: config must be 2 or 3")
+		os.Exit(1)
+	}
+
+	var loads []float64
+	for _, s := range strings.Split(*points, ",") {
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &v); err != nil || v <= 0 || v > 1 {
+			fmt.Fprintf(os.Stderr, "ccfit-loadcurve: bad load %q\n", s)
+			os.Exit(1)
+		}
+		loads = append(loads, v)
+	}
+
+	fmt.Printf("uniform load curve on %s (%g ms per point, seed %d)\n", ft.Name, *msFlag, *seed)
+	fmt.Printf("%-8s %-8s %-10s %-12s %-12s\n", "scheme", "offered", "accepted", "p50lat(ns)", "p99lat(ns)")
+	for _, name := range strings.Split(*schemes, ",") {
+		name = strings.TrimSpace(name)
+		p, err := ccfit.Scheme(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccfit-loadcurve:", err)
+			os.Exit(1)
+		}
+		for _, load := range loads {
+			end := sim.CyclesFromMS(*msFlag)
+			n, err := network.Build(ft.Topology, p, network.Options{Seed: *seed, TieBreak: ft.DETTieBreak})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ccfit-loadcurve:", err)
+				os.Exit(1)
+			}
+			var flows []traffic.Flow
+			for s := 0; s < ft.NumEndpoints(); s++ {
+				flows = append(flows, traffic.Flow{
+					ID: s, Src: s, Dst: traffic.UniformDst, Start: 0, End: end, Rate: load,
+				})
+			}
+			if err := n.AddFlows(flows); err != nil {
+				fmt.Fprintln(os.Stderr, "ccfit-loadcurve:", err)
+				os.Exit(1)
+			}
+			n.Run(end)
+			bins := int(end / n.Collector.BinCycles())
+			series := n.Collector.NormalizedSeries(bins)
+			// Steady state: skip the warm-up third.
+			sum := 0.0
+			for _, v := range series[bins/3:] {
+				sum += v
+			}
+			accepted := sum / float64(bins-bins/3)
+			fmt.Printf("%-8s %-8.2f %-10.3f %-12.0f %-12.0f\n",
+				name, load, accepted,
+				n.Collector.LatencyPercentileNS(0.50),
+				n.Collector.LatencyPercentileNS(0.99))
+		}
+	}
+}

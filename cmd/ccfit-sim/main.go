@@ -1,0 +1,110 @@
+// Command ccfit-sim runs a single simulation: one of the paper's
+// network configurations under one scheme and traffic case, emitting
+// the throughput time series (and per-flow series for the staged
+// cases) as CSV on stdout.
+//
+// Usage:
+//
+//	ccfit-sim -config 1 -case 1 -scheme CCFIT -ms 10
+//	ccfit-sim -config 3 -case 4 -trees 4 -scheme FBICM -ms 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	ccfit "repro"
+	"repro/internal/experiments"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+func main() {
+	cfg := flag.Int("config", 1, "network configuration (1, 2 or 3; Table I)")
+	caseNo := flag.Int("case", 0, "traffic case (default: the paper's case for the config)")
+	scheme := flag.String("scheme", "CCFIT", "scheme: 1Q, FBICM, ITh, CCFIT, VOQnet, DBBM")
+	msFlag := flag.Float64("ms", 10, "simulated milliseconds")
+	trees := flag.Int("trees", 1, "congestion trees for case #4")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	binUS := flag.Float64("bin", 50, "metrics bin width in microseconds")
+	traceFlag := flag.Bool("trace", false, "log congestion-management protocol events to stderr")
+	linksFlag := flag.Int("links", 0, "print the N most-utilized link directions to stderr")
+	flag.Parse()
+
+	p, err := ccfit.Scheme(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	if *traceFlag {
+		// Exhaustion events can fire per cycle under heavy overload;
+		// keep the live log to the protocol milestones.
+		p.Tracer = ccfit.TraceOnly(ccfit.NewTraceWriter(os.Stderr),
+			ccfit.EvDetect, ccfit.EvPropagate, ccfit.EvStop, ccfit.EvGo,
+			ccfit.EvDealloc, ccfit.EvCongestionOn, ccfit.EvCongestionOff)
+	}
+	end := sim.CyclesFromMS(*msFlag)
+	bin := sim.CyclesFromNS(*binUS * 1000)
+
+	var n *network.Network
+	switch *cfg {
+	case 1:
+		n, err = experiments.BuildConfig1(p, *seed, bin, end)
+	case 2:
+		c := *caseNo
+		if c == 0 {
+			c = 2
+		}
+		n, err = experiments.BuildConfig2(p, *seed, bin, end, c)
+	case 3:
+		n, err = experiments.BuildConfig3(p, *seed, bin, end, *trees)
+	default:
+		fatal(fmt.Errorf("unknown config %d", *cfg))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	n.Run(end)
+
+	bins := int(end / bin)
+	norm := n.Collector.NormalizedSeries(bins)
+	total := n.Collector.TotalSeries(bins)
+	flows := n.Collector.Flows()
+	fmt.Print("time_ms,normalized,total_gbs")
+	for _, f := range flows {
+		fmt.Printf(",F%d_gbs", f)
+	}
+	fmt.Println()
+	series := make([][]float64, len(flows))
+	for i, f := range flows {
+		series[i] = n.Collector.FlowSeries(f, bins)
+	}
+	for i := 0; i < bins; i++ {
+		fmt.Printf("%.3f,%.5f,%.4f", float64(i)*sim.MSFromCycles(bin), norm[i], total[i])
+		for _, s := range series {
+			fmt.Printf(",%.4f", s[i])
+		}
+		fmt.Println()
+	}
+	op, ob := n.TotalOffered()
+	dp, db := n.TotalDelivered()
+	fmt.Fprintf(os.Stderr, "%s config#%d: offered %d pkts (%d B), delivered %d pkts (%d B), avg latency %.0f ns\n",
+		p.Name, *cfg, op, ob, dp, db, n.Collector.AvgLatencyNS())
+	if *linksFlag > 0 {
+		loads := n.LinkLoads()
+		sort.Slice(loads, func(i, j int) bool { return loads[i].Utilization > loads[j].Utilization })
+		if *linksFlag < len(loads) {
+			loads = loads[:*linksFlag]
+		}
+		fmt.Fprintln(os.Stderr, "hottest link directions:")
+		for _, l := range loads {
+			fmt.Fprintf(os.Stderr, "  %-16s %5.1f%%  %8d pkts\n", l.Name, l.Utilization*100, l.Pkts)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccfit-sim:", err)
+	os.Exit(1)
+}

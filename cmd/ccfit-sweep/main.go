@@ -1,0 +1,150 @@
+// Command ccfit-sweep runs the ablation studies: it sweeps one design
+// parameter of a scheme across a range of values on a chosen
+// experiment and reports the steady-state (or burst-window) normalized
+// throughput, exposing how sensitive each mechanism is to its tuning —
+// the discussion of Section III-E.
+//
+// Usage:
+//
+//	ccfit-sweep -exp fig8b -scheme CCFIT -param numcfqs
+//	ccfit-sweep -exp fig7a -scheme ITh -param markingrate
+//
+// Parameters: numcfqs, stopgo, detection, markingrate, cctitimer,
+// irdstep, islip, becnpacing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ccfit "repro"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// sweep describes one tunable: the values to try and how to apply one.
+type sweep struct {
+	name   string
+	values []float64
+	apply  func(p *ccfit.Params, v float64)
+	label  func(v float64) string
+}
+
+func sweeps() []sweep {
+	num := func(v float64) string { return fmt.Sprintf("%g", v) }
+	return []sweep{
+		{
+			name:   "numcfqs",
+			values: []float64{1, 2, 4, 8},
+			apply:  func(p *ccfit.Params, v float64) { p.NumCFQs = int(v) },
+			label:  num,
+		},
+		{
+			name:   "stopgo",
+			values: []float64{6, 10, 16, 24}, // Stop threshold in MTUs; Go stays at 4
+			apply:  func(p *ccfit.Params, v float64) { p.StopThreshold = int(v) * ccfit.MTU },
+			label:  func(v float64) string { return fmt.Sprintf("stop=%gMTU", v) },
+		},
+		{
+			name:   "detection",
+			values: []float64{2, 4, 8, 16}, // detection threshold in MTUs
+			apply:  func(p *ccfit.Params, v float64) { p.DetectionThreshold = int(v) * ccfit.MTU },
+			label:  func(v float64) string { return fmt.Sprintf("%gMTU", v) },
+		},
+		{
+			name:   "markingrate",
+			values: []float64{0.25, 0.5, 0.85, 1.0},
+			apply:  func(p *ccfit.Params, v float64) { p.MarkingRate = v },
+			label:  num,
+		},
+		{
+			name:   "cctitimer",
+			values: []float64{2000, 4000, 8000, 16000}, // ns
+			apply:  func(p *ccfit.Params, v float64) { p.CCTITimer = sim.CyclesFromNS(v) },
+			label:  func(v float64) string { return fmt.Sprintf("%gns", v) },
+		},
+		{
+			name:   "irdstep",
+			values: []float64{4, 8, 16, 32}, // cycles per CCT index
+			apply:  func(p *ccfit.Params, v float64) { p.IRDStep = sim.Cycle(v) },
+			label:  func(v float64) string { return fmt.Sprintf("%gcyc", v) },
+		},
+		{
+			name:   "islip",
+			values: []float64{1, 2, 4},
+			apply:  func(p *ccfit.Params, v float64) { p.ISlipIters = int(v) },
+			label:  num,
+		},
+		{
+			name:   "becnpacing",
+			values: []float64{0, 2000, 4000, 8000}, // ns between BECNs per source
+			apply:  func(p *ccfit.Params, v float64) { p.BECNPacing = sim.CyclesFromNS(v) },
+			label:  func(v float64) string { return fmt.Sprintf("%gns", v) },
+		},
+	}
+}
+
+func main() {
+	expID := flag.String("exp", "fig8b", "experiment to sweep on")
+	scheme := flag.String("scheme", "CCFIT", "scheme preset to start from")
+	param := flag.String("param", "numcfqs", "parameter to sweep")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	exp, err := ccfit.ExperimentByID(*expID)
+	if err != nil {
+		fatal(err)
+	}
+	var sw *sweep
+	for _, s := range sweeps() {
+		if s.name == *param {
+			s := s
+			sw = &s
+			break
+		}
+	}
+	if sw == nil {
+		fatal(fmt.Errorf("unknown parameter %q", *param))
+	}
+
+	fmt.Printf("ablation: %s on %s (%s), seed %d\n", sw.name, exp.ID, *scheme, *seed)
+	fmt.Printf("%-12s %-10s %-10s %-10s\n", sw.name, "mean", "worstBin", "delivered")
+	for _, v := range sw.values {
+		p, err := ccfit.Scheme(*scheme)
+		if err != nil {
+			fatal(err)
+		}
+		sw.apply(&p, v)
+		if err := p.Validate(); err != nil {
+			fmt.Printf("%-12s invalid: %v\n", sw.label(v), err)
+			continue
+		}
+		r, err := runWith(exp, p, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		worst := 1.0
+		for _, x := range r.Normalized {
+			if x < worst {
+				worst = x
+			}
+		}
+		fmt.Printf("%-12s %-10.3f %-10.3f %-10d\n", sw.label(v), r.Summary.MeanNormalized, worst, r.Summary.DeliveredPkts)
+	}
+}
+
+// runWith runs an experiment with explicit (possibly modified) params.
+func runWith(exp ccfit.Experiment, p ccfit.Params, seed int64) (*ccfit.Result, error) {
+	n, err := exp.Build(p, seed, exp.Bin, exp.Duration)
+	if err != nil {
+		return nil, err
+	}
+	n.Run(exp.Duration)
+	return experiments.Harvest(exp, p.Name, seed, n), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccfit-sweep:", err)
+	os.Exit(1)
+}

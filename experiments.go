@@ -1,0 +1,71 @@
+package ccfit
+
+import (
+	"io"
+
+	"repro/internal/experiments"
+)
+
+// Experiments returns the paper's evaluation registry in paper order:
+// table1, fig7a-c, fig8a-c, fig9, fig10.
+func Experiments() []Experiment { return experiments.Registry() }
+
+// ExperimentByID looks up one experiment (e.g. "fig8b"), including the
+// extras beyond the paper's figures.
+func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }
+
+// ExtraExperiments returns experiments beyond the paper's evaluation
+// (related-work comparisons and ablation scenarios).
+func ExtraExperiments() []Experiment { return experiments.Extras() }
+
+// RunExperiment executes one experiment under one scheme.
+func RunExperiment(exp Experiment, scheme string, seed int64) (*Result, error) {
+	return experiments.Run(exp, scheme, seed)
+}
+
+// RunAll executes an experiment under every scheme it evaluates.
+func RunAll(exp Experiment, seed int64) ([]*Result, error) {
+	return experiments.RunAll(exp, seed)
+}
+
+// Replication summarises one (experiment, scheme) pair across seeds.
+type Replication = experiments.Replication
+
+// RunSeeds executes an experiment under one scheme for every seed and
+// aggregates mean/stddev statistics.
+func RunSeeds(exp Experiment, scheme string, seeds []int64) (*Replication, error) {
+	return experiments.RunSeeds(exp, scheme, seeds)
+}
+
+// RenderReplications prints a replication table (mean ± sd per scheme).
+func RenderReplications(w io.Writer, exp Experiment, reps []*Replication) {
+	experiments.RenderReplications(w, exp, reps)
+}
+
+// RenderTable1 prints Table I derived from the generated topologies.
+func RenderTable1(w io.Writer) { experiments.RenderTable1(w) }
+
+// RenderThroughput prints a throughput-versus-time experiment.
+func RenderThroughput(w io.Writer, exp Experiment, results []*Result) {
+	experiments.RenderThroughput(w, exp, results)
+}
+
+// RenderFlows prints per-flow bandwidth series (Figs. 9/10 layout).
+func RenderFlows(w io.Writer, exp Experiment, results []*Result) {
+	experiments.RenderFlows(w, exp, results)
+}
+
+// RenderSummary prints per-run congestion-management counters.
+func RenderSummary(w io.Writer, results []*Result) {
+	experiments.RenderSummary(w, results)
+}
+
+// WriteCSV emits a machine-readable result set.
+func WriteCSV(w io.Writer, exp Experiment, results []*Result) {
+	experiments.WriteCSV(w, exp, results)
+}
+
+// WindowMean averages series bins whose start time is in [fromMS,toMS).
+func WindowMean(r *Result, series []float64, fromMS, toMS float64) float64 {
+	return experiments.WindowMean(r, series, fromMS, toMS)
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSharedCredits(t *testing.T) {
+	c := NewSharedCredits(1000)
+	if c.PerDest() {
+		t.Fatal("shared pool claims per-dest")
+	}
+	if c.Avail(0) != 1000 || c.Avail(7) != 1000 {
+		t.Fatal("shared pool not destination-agnostic")
+	}
+	c.Take(3, 400)
+	if c.Avail(9) != 600 {
+		t.Fatalf("avail = %d after take", c.Avail(9))
+	}
+	c.Give(5, 100)
+	if c.Avail(0) != 700 {
+		t.Fatalf("avail = %d after give", c.Avail(0))
+	}
+}
+
+func TestPerDestCredits(t *testing.T) {
+	c := NewPerDestCredits(4, 4096)
+	if !c.PerDest() {
+		t.Fatal("per-dest pool claims shared")
+	}
+	c.Take(2, 2048)
+	if c.Avail(2) != 2048 {
+		t.Fatalf("dest 2 avail = %d", c.Avail(2))
+	}
+	if c.Avail(1) != 4096 {
+		t.Fatal("taking from dest 2 affected dest 1")
+	}
+	c.Give(2, 2048)
+	if c.Avail(2) != 4096 {
+		t.Fatal("give not applied")
+	}
+}
+
+func TestCreditUnderflowPanics(t *testing.T) {
+	for _, c := range []*CreditPool{NewSharedCredits(100), NewPerDestCredits(2, 100)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("underflow did not panic")
+				}
+			}()
+			c.Take(1, 101)
+		}()
+	}
+}
+
+func TestCreditConstructorsPanic(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSharedCredits(0) },
+		func() { NewPerDestCredits(0, 10) },
+		func() { NewPerDestCredits(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad constructor accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: any legal take/give sequence conserves total credit.
+func TestCreditConservationProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := NewPerDestCredits(4, 1<<12)
+		outstanding := [4]int{}
+		for _, op := range ops {
+			dest := int(op) % 4
+			n := int(op>>2) % 512
+			if op%2 == 0 {
+				if c.Avail(dest) >= n {
+					c.Take(dest, n)
+					outstanding[dest] += n
+				}
+			} else if outstanding[dest] >= n {
+				c.Give(dest, n)
+				outstanding[dest] -= n
+			}
+			if c.Avail(dest)+outstanding[dest] != 1<<12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+func TestMarkStateCongestionCounter(t *testing.T) {
+	p := PresetCCFIT()
+	m := NewMarkState(&p, rand.New(rand.NewSource(1)), nil, "t")
+	if m.Congested() {
+		t.Fatal("fresh state congested")
+	}
+	m.Crossed(true)
+	m.Crossed(true)
+	if !m.Congested() {
+		t.Fatal("not congested after crossings")
+	}
+	m.Crossed(false)
+	if !m.Congested() {
+		t.Fatal("left congestion state with one queue still above High")
+	}
+	m.Crossed(false)
+	if m.Congested() {
+		t.Fatal("congested at counter zero")
+	}
+}
+
+func TestMarkStateUnderflowPanics(t *testing.T) {
+	p := PresetCCFIT()
+	m := NewMarkState(&p, rand.New(rand.NewSource(1)), nil, "t")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("underflow did not panic")
+		}
+	}()
+	m.Crossed(false)
+}
+
+func TestMarkingRateApproximate(t *testing.T) {
+	p := PresetCCFIT()
+	m := NewMarkState(&p, rand.New(rand.NewSource(7)), nil, "t")
+	m.Crossed(true)
+	var g pkt.IDGen
+	marked := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		pk := pkt.NewData(&g, 0, 1, 0, pkt.MTU, 0)
+		if m.MaybeMark(pk) {
+			marked++
+		}
+		if pk.FECN != (marked > 0 && pk.FECN) { // marked implies FECN
+			t.Fatal("mark flag inconsistent")
+		}
+	}
+	frac := float64(marked) / n
+	if frac < 0.83 || frac > 0.87 {
+		t.Fatalf("marked fraction = %v, want ~0.85", frac)
+	}
+	if m.Marked != marked {
+		t.Fatal("counter mismatch")
+	}
+}
+
+func TestMarkingRespectsGates(t *testing.T) {
+	p := PresetCCFIT()
+	p.MarkingRate = 1.0
+	m := NewMarkState(&p, rand.New(rand.NewSource(1)), nil, "t")
+	var g pkt.IDGen
+
+	// Not congested: no marking.
+	if m.MaybeMark(pkt.NewData(&g, 0, 1, 0, pkt.MTU, 0)) {
+		t.Fatal("marked outside congestion state")
+	}
+	m.Crossed(true)
+	// BECNs are never marked.
+	if m.MaybeMark(pkt.NewBECN(&g, 1, 0, 1, 0)) {
+		t.Fatal("BECN marked")
+	}
+	// Below Packet_Size: not marked.
+	if m.MaybeMark(pkt.NewData(&g, 0, 1, 0, p.MinMarkSize-1, 0)) {
+		t.Fatal("small packet marked")
+	}
+	// Eligible data packet: marked.
+	dp := pkt.NewData(&g, 0, 1, 0, pkt.MTU, 0)
+	if !m.MaybeMark(dp) || !dp.FECN {
+		t.Fatal("eligible packet not marked")
+	}
+	// Already-marked packet: not double counted.
+	if m.MaybeMark(dp) {
+		t.Fatal("double marked")
+	}
+	// Marking disabled entirely.
+	p2 := PresetFBICM()
+	m2 := NewMarkState(&p2, rand.New(rand.NewSource(1)), nil, "t")
+	m2.Crossed(true)
+	if m2.MaybeMark(pkt.NewData(&g, 0, 1, 0, pkt.MTU, 0)) {
+		t.Fatal("FBICM marked a packet")
+	}
+}
+
+func TestThrottlerBECNRaisesIRD(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := PresetCCFIT()
+	th := NewThrottler(eng, &p, 8)
+	if th.IRD(3) != 0 {
+		t.Fatal("fresh throttler delays")
+	}
+	if !th.MayInject(3, 0) {
+		t.Fatal("fresh throttler blocks injection")
+	}
+	th.OnBECN(3)
+	th.OnBECN(3)
+	if th.CCTI(3) != 2 {
+		t.Fatalf("CCTI = %d, want 2", th.CCTI(3))
+	}
+	if th.IRD(3) != 2*p.IRDStep {
+		t.Fatalf("IRD = %d, want %d", th.IRD(3), 2*p.IRDStep)
+	}
+	// Other destinations unaffected (per-flow throttling).
+	if th.IRD(4) != 0 {
+		t.Fatal("BECN for 3 throttled 4")
+	}
+}
+
+func TestThrottlerGatesByLTI(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := PresetCCFIT()
+	th := NewThrottler(eng, &p, 8)
+	th.OnBECN(3) // IRD = 16 cycles
+	th.Injected(3, 100)
+	if th.MayInject(3, 100+th.IRD(3)-1) {
+		t.Fatal("injection allowed before IRD elapsed")
+	}
+	if !th.MayInject(3, 100+th.IRD(3)) {
+		t.Fatal("injection blocked after IRD elapsed")
+	}
+}
+
+func TestThrottlerTimerDecays(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := PresetCCFIT()
+	th := NewThrottler(eng, &p, 8)
+	th.OnBECN(3)
+	th.OnBECN(3)
+	th.OnBECN(3)
+	if th.CCTI(3) != 3 {
+		t.Fatalf("CCTI = %d", th.CCTI(3))
+	}
+	// After one timer period: 2; after three: 0.
+	eng.Run(p.CCTITimer + 1)
+	if th.CCTI(3) != 2 {
+		t.Fatalf("CCTI after 1 period = %d, want 2", th.CCTI(3))
+	}
+	eng.Run(4*p.CCTITimer + 10)
+	if th.CCTI(3) != 0 {
+		t.Fatalf("CCTI after decay = %d, want 0", th.CCTI(3))
+	}
+	if th.IRD(3) != 0 {
+		t.Fatal("IRD nonzero after full decay")
+	}
+	// Timer must not keep firing forever once at zero.
+	pending := eng.Pending()
+	eng.Run(eng.Now() + 10*p.CCTITimer)
+	if eng.Pending() > pending {
+		t.Fatal("timer events accumulate after decay")
+	}
+}
+
+func TestThrottlerCCTIClamped(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := PresetCCFIT()
+	p.CCTEntries = 4
+	th := NewThrottler(eng, &p, 8)
+	for i := 0; i < 10; i++ {
+		th.OnBECN(2)
+	}
+	if th.CCTI(2) != 3 {
+		t.Fatalf("CCTI = %d, want clamp at 3", th.CCTI(2))
+	}
+	if th.MaxCCTI != 3 || th.BECNs != 10 {
+		t.Fatalf("stats: max=%d becns=%d", th.MaxCCTI, th.BECNs)
+	}
+}
+
+func TestThrottlerLinearCCT(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := PresetCCFIT()
+	th := NewThrottler(eng, &p, 4)
+	for i := 0; i < 5; i++ {
+		th.OnBECN(1)
+		want := sim.Cycle(i+1) * p.IRDStep
+		if th.IRD(1) != want {
+			t.Fatalf("IRD after %d BECNs = %d, want %d", i+1, th.IRD(1), want)
+		}
+	}
+}

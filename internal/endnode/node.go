@@ -1,0 +1,368 @@
+// Package endnode models the paper's end nodes: the Input Adapter (IA)
+// of Fig. 2 — per-destination admittance queues (AdVOQs), an output
+// buffer organised like a switch input port (NFQ + CFQs + CAM under
+// FBICM/CCFIT), and the injection-throttling structures (CCT, CCTI,
+// Timer, LTI) — plus the sink side that consumes packets, returns
+// credits, and answers FECN-marked packets with BECNs.
+package endnode
+
+import (
+	"fmt"
+
+	"repro/internal/arbiter"
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// Stats aggregates per-node counters.
+type Stats struct {
+	Offered        int // packets accepted into AdVOQs
+	OfferedBytes   int
+	Rejected       int // traffic-generator packets refused (AdVOQ full)
+	Sent           int // packets put on the wire
+	SentBytes      int
+	Delivered      int // packets consumed by the sink
+	DeliveredBytes int
+	FECNSeen       int // FECN-marked deliveries
+	BECNsSent      int
+	BECNsReceived  int
+	ThrottleStalls int // AdVOQ head blocked by the IRD gate
+}
+
+// DeliverHook observes every sink delivery (metrics wiring).
+type DeliverHook func(p *pkt.Packet, now sim.Cycle)
+
+// Node is one endpoint: traffic source (IA) and traffic sink.
+type Node struct {
+	eng          *sim.Engine
+	p            *core.Params
+	id           int
+	numEndpoints int
+	ids          *pkt.IDGen
+
+	// Injection side.
+	advoqs    []*buffer.Queue
+	advoqRR   *arbiter.RoundRobin
+	disc      core.QDisc
+	outRR     *arbiter.RoundRobin
+	throttler *core.Throttler
+	tx        *link.Half
+	credits   *core.CreditPool
+	outCAM    *core.OutCAM
+	pending   []*pkt.Packet // BECNs awaiting output-buffer space
+	lastBECN  []sim.Cycle   // per source: last BECN sent (pacing)
+	occupied  int           // AdVOQs currently holding packets
+
+	// Stable parameter copies the output-buffer discipline points at
+	// (the IA RAM size differs from the switch PortRAM).
+	iaParams   core.Params
+	oneqParams core.Params
+
+	onDeliver DeliverHook
+	stats     Stats
+}
+
+// New builds a node. ids must be the network-wide packet id generator.
+// Wiring (AttachLink) happens afterwards.
+func New(eng *sim.Engine, id int, p *core.Params, numEndpoints int, ids *pkt.IDGen) *Node {
+	n := &Node{
+		eng:          eng,
+		p:            p,
+		id:           id,
+		numEndpoints: numEndpoints,
+		ids:          ids,
+		advoqs:       make([]*buffer.Queue, numEndpoints),
+		advoqRR:      arbiter.NewRoundRobin(numEndpoints),
+		outCAM:       core.NewOutCAM(p.NumCFQs),
+	}
+	for i := range n.advoqs {
+		n.advoqs[i] = buffer.NewQueue(fmt.Sprintf("advoq%d", i), nil)
+	}
+	// The IA output buffer mirrors the switch organisation only for
+	// the isolation-based schemes (Fig. 2); other schemes use a plain
+	// FIFO in front of the link.
+	iaParams := *p
+	iaParams.PortRAM = p.IARAM
+	n.iaParams = iaParams
+	switch p.Disc {
+	case core.NFQCFQ:
+		iso := core.NewIsolationUnit(&n.iaParams, nodeEnv{n})
+		iso.SetTraceLabel(fmt.Sprintf("node%d", id))
+		n.disc = iso
+	case core.VOQNet:
+		// VOQnet keeps per-destination queues end to end: a blocked
+		// hot destination must never stall the whole adapter.
+		n.disc = core.NewQDisc(&n.iaParams, nodeEnv{n}, 1, numEndpoints)
+	default:
+		oneq := n.iaParams
+		oneq.Disc = core.OneQ
+		n.oneqParams = oneq
+		n.disc = core.NewQDisc(&n.oneqParams, nodeEnv{n}, 1, numEndpoints)
+	}
+	n.outRR = arbiter.NewRoundRobin(n.disc.QueueCount())
+	if p.ThrottlingEnabled {
+		n.throttler = core.NewThrottler(eng, p, numEndpoints)
+		n.throttler.SetTraceLabel(fmt.Sprintf("node%d", id))
+	}
+	eng.Register(sim.PhasePost, n.post)
+	eng.Register(sim.PhaseArbitrate, n.arbitrate)
+	eng.Register(sim.PhaseUpdate, n.update)
+	return n
+}
+
+// ID returns the endpoint id.
+func (n *Node) ID() int { return n.id }
+
+// Stats returns the node counters.
+func (n *Node) Stats() *Stats { return &n.stats }
+
+// Throttler exposes the CCT machinery (nil when throttling is off).
+func (n *Node) Throttler() *core.Throttler { return n.throttler }
+
+// Disc exposes the IA output-buffer discipline (tests, diagnostics).
+func (n *Node) Disc() core.QDisc { return n.disc }
+
+// SetDeliverHook registers the metrics observer for sink deliveries.
+func (n *Node) SetDeliverHook(h DeliverHook) { n.onDeliver = h }
+
+// AttachLink wires the node's uplink: tx is the transmit direction
+// toward the switch, credits the pool mirroring the switch input
+// port's receive memory.
+func (n *Node) AttachLink(tx *link.Half, credits *core.CreditPool) {
+	if n.tx != nil {
+		panic(fmt.Sprintf("endnode: node %d already attached", n.id))
+	}
+	n.tx = tx
+	n.credits = credits
+}
+
+// Offer admits a traffic-generator packet into its AdVOQ. It reports
+// false (source stall) when the AdVOQ is full.
+func (n *Node) Offer(p *pkt.Packet) bool {
+	if p.Dst < 0 || p.Dst >= n.numEndpoints || p.Dst == n.id {
+		panic(fmt.Sprintf("endnode: node %d offered packet with bad dest %d", n.id, p.Dst))
+	}
+	q := n.advoqs[p.Dst]
+	if q.Len() >= n.p.AdVOQCap {
+		n.stats.Rejected++
+		return false
+	}
+	if q.Empty() {
+		n.occupied++
+	}
+	q.Push(p)
+	n.stats.Offered++
+	n.stats.OfferedBytes += p.Size
+	return true
+}
+
+// AdVOQLen returns the depth of the admittance queue for dest (tests).
+func (n *Node) AdVOQLen(dest int) int { return n.advoqs[dest].Len() }
+
+// post drains pending BECNs into the output buffer, then moves one
+// AdVOQ head past the throttling gate (IRD/LTI, Section III-D), then
+// runs the output buffer's post-processing.
+func (n *Node) post(now sim.Cycle) {
+	for len(n.pending) > 0 && n.disc.Fits(n.pending[0].Size) {
+		n.disc.Enqueue(n.pending[0], -1)
+		n.pending = n.pending[1:]
+	}
+	// Keep the output stage shallow so packets wait in per-destination
+	// AdVOQs where the throttling gate can still reorder service.
+	if n.occupied > 0 && n.stageHasRoom() {
+		if i := n.pickAdVOQ(now); i >= 0 {
+			p := n.advoqs[i].Pop()
+			if n.advoqs[i].Empty() {
+				n.occupied--
+			}
+			n.disc.Enqueue(p, -1)
+			if n.throttler != nil {
+				n.throttler.Injected(i, now)
+			}
+		}
+	}
+	n.disc.Post(now)
+}
+
+// stagingLimit bounds the output-buffer fill the IA aims for: enough to
+// keep the link busy, small enough that throttling acts promptly.
+func (n *Node) stagingLimit() int {
+	limit := 4 * pkt.MTU
+	if limit > n.p.IARAM {
+		limit = n.p.IARAM
+	}
+	return limit
+}
+
+// stageHasRoom gates the AdVOQ scan: with a shared output buffer, a
+// full staging budget blocks every destination alike, so the scan can
+// be skipped wholesale (per-destination buffers are gated per queue in
+// pickAdVOQ instead).
+func (n *Node) stageHasRoom() bool {
+	if _, ok := n.disc.(core.DestOccupancy); ok {
+		return true
+	}
+	return n.disc.UsedBytes() < n.stagingLimit()
+}
+
+// pickAdVOQ chooses the next admittance queue to serve: round-robin
+// over destinations, skipping empty queues, queues whose IRD has not
+// elapsed, heads the output buffer cannot admit, and destinations
+// whose share of the staging budget is already used.
+func (n *Node) pickAdVOQ(now sim.Cycle) int {
+	perDest, _ := n.disc.(core.DestOccupancy)
+	stalled := false
+	i := n.advoqRR.Pick(func(i int) bool {
+		h := n.advoqs[i].Head()
+		if h == nil {
+			return false
+		}
+		if perDest != nil {
+			// Per-destination output queues: stage at most one packet
+			// per destination so blocked destinations cannot hoard.
+			if perDest.DestBytes(i) > 0 {
+				return false
+			}
+		}
+		if n.throttler != nil && !n.throttler.MayInject(i, now) {
+			stalled = true
+			return false
+		}
+		return n.disc.Fits(h.Size)
+	})
+	if i < 0 && stalled {
+		n.stats.ThrottleStalls++
+	}
+	return i
+}
+
+// arbitrate serves the output buffer onto the uplink: BECNs first, then
+// round-robin among the queues with eligible heads.
+func (n *Node) arbitrate(now sim.Cycle) {
+	if n.tx == nil || !n.tx.Free(now) || n.disc.UsedBytes() == 0 {
+		return
+	}
+	var reqs []core.Request
+	n.disc.Requests(now, func(r core.Request) {
+		if r.Pkt.Size <= n.credits.Avail(r.Pkt.Dst) {
+			reqs = append(reqs, r)
+		}
+	})
+	if len(reqs) == 0 {
+		return
+	}
+	best := -1
+	for idx, r := range reqs {
+		if best == -1 || (r.Priority && !reqs[best].Priority) ||
+			(r.Priority == reqs[best].Priority && n.outRR.Closer(r.QID, reqs[best].QID)) {
+			best = idx
+		}
+	}
+	r := reqs[best]
+	p := n.disc.Pop(r.QID)
+	if p != r.Pkt {
+		panic(fmt.Sprintf("endnode: node %d popped %v, selected %v", n.id, p, r.Pkt))
+	}
+	n.outRR.Served(r.QID)
+	n.credits.Take(p.Dst, p.Size)
+	n.tx.Send(now, p, r.DirectCFQ)
+	n.stats.Sent++
+	n.stats.SentBytes += p.Size
+}
+
+// update runs the output buffer housekeeping.
+func (n *Node) update(now sim.Cycle) {
+	n.disc.Update(now)
+}
+
+// ReceivePacket implements link.PacketReceiver: the sink. Packets are
+// consumed immediately (the endpoint link, not the node, is the
+// bottleneck in every evaluated scenario) and their buffer space is
+// returned as credit at once. FECN-marked deliveries trigger a BECN
+// back to the packet's source; received BECNs drive the throttler.
+func (n *Node) ReceivePacket(p *pkt.Packet, _ int) {
+	now := n.eng.Now()
+	n.tx.SendControl(now, link.Control{Kind: link.Credit, Bytes: p.Size, Dest: p.Dst})
+	if p.Kind == pkt.BECN {
+		n.stats.BECNsReceived++
+		if n.throttler != nil {
+			n.throttler.OnBECN(p.CongDst)
+		}
+		return
+	}
+	if p.Dst != n.id {
+		panic(fmt.Sprintf("endnode: node %d received packet for %d (misroute)", n.id, p.Dst))
+	}
+	p.Delivered = now
+	n.stats.Delivered++
+	n.stats.DeliveredBytes += p.Size
+	if p.FECN {
+		n.stats.FECNSeen++
+		if n.p.ThrottlingEnabled && n.becnDue(p.Src, now) {
+			n.pending = append(n.pending, pkt.NewBECN(n.ids, n.id, p.Src, n.id, now))
+			n.stats.BECNsSent++
+		}
+	}
+	if n.onDeliver != nil {
+		n.onDeliver(p, now)
+	}
+}
+
+// becnDue applies BECN pacing: at most one notification per source per
+// BECNPacing interval (see core.Params.BECNPacing).
+func (n *Node) becnDue(src int, now sim.Cycle) bool {
+	if n.p.BECNPacing <= 0 {
+		return true
+	}
+	if n.lastBECN == nil {
+		n.lastBECN = make([]sim.Cycle, n.numEndpoints)
+		for i := range n.lastBECN {
+			n.lastBECN[i] = -1 << 30
+		}
+	}
+	if now-n.lastBECN[src] < n.p.BECNPacing {
+		return false
+	}
+	n.lastBECN[src] = now
+	return true
+}
+
+// ReceiveControl implements link.ControlReceiver: credits and the CFQ
+// protocol from the switch input port one hop downstream.
+func (n *Node) ReceiveControl(m link.Control) {
+	if m.Kind == link.Credit {
+		n.credits.Give(m.Dest, m.Bytes)
+		return
+	}
+	n.outCAM.Handle(m)
+	if m.Kind == link.CFQAlloc {
+		if iso, ok := n.disc.(*core.IsolationUnit); ok {
+			iso.DemoteRoot(0, m.Dests)
+		}
+	}
+}
+
+// nodeEnv adapts the node to core.PortEnv for its output buffer: a
+// single uplink (output 0), the uplink's OutCAM, no upstream hop to
+// notify, and no marking at IAs.
+type nodeEnv struct{ n *Node }
+
+func (e nodeEnv) Route(int) int { return 0 }
+func (e nodeEnv) OutLine(_, dest int) (bool, int, bool) {
+	return e.n.outCAM.Lookup(dest)
+}
+func (e nodeEnv) OutCredits(_, dest int) int {
+	if e.n.credits == nil {
+		return 0
+	}
+	return e.n.credits.Avail(dest)
+}
+
+// Lookahead at an IA is the switch input port's route for dest — but
+// the IA output disciplines never use OBQA, so 0 suffices.
+func (e nodeEnv) Lookahead(_, _ int) int      { return 0 }
+func (e nodeEnv) NotifyUpstream(link.Control) {}
+func (e nodeEnv) MarkCrossed(int, bool)       {}

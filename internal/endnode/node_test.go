@@ -1,0 +1,301 @@
+package endnode
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// wire is a test double for the switch at the far end of the node's
+// uplink: it records packets and control messages the node sends.
+type wire struct {
+	eng  *sim.Engine
+	pkts []*pkt.Packet
+	ctls []link.Control
+}
+
+func (w *wire) ReceivePacket(p *pkt.Packet, cfq int) { w.pkts = append(w.pkts, p) }
+func (w *wire) ReceiveControl(m link.Control)        { w.ctls = append(w.ctls, m) }
+
+// rig builds a node attached to a recording wire.
+func rig(t *testing.T, p core.Params) (*sim.Engine, *Node, *wire, *pkt.IDGen) {
+	t.Helper()
+	eng := sim.NewEngine(3)
+	ids := &pkt.IDGen{}
+	n := New(eng, 0, &p, 8, ids)
+	w := &wire{eng: eng}
+	tx := link.NewHalf(eng, "up", 64, 2)
+	tx.SetReceivers(w, w)
+	n.AttachLink(tx, core.NewSharedCredits(64<<10))
+	return eng, n, w, ids
+}
+
+func TestOfferAndAdVOQCap(t *testing.T) {
+	p := core.PresetCCFIT()
+	p.AdVOQCap = 2
+	eng := sim.NewEngine(1)
+	ids := &pkt.IDGen{}
+	n := New(eng, 0, &p, 8, ids)
+	for i := 0; i < 2; i++ {
+		if !n.Offer(pkt.NewData(ids, 0, 3, 0, pkt.MTU, 0)) {
+			t.Fatalf("offer %d rejected below cap", i)
+		}
+	}
+	if n.Offer(pkt.NewData(ids, 0, 3, 0, pkt.MTU, 0)) {
+		t.Fatal("offer accepted above AdVOQ cap")
+	}
+	if n.Stats().Offered != 2 || n.Stats().Rejected != 1 {
+		t.Fatalf("stats: %+v", n.Stats())
+	}
+	if n.AdVOQLen(3) != 2 {
+		t.Fatalf("advoq len = %d", n.AdVOQLen(3))
+	}
+}
+
+func TestOfferBadDestinationPanics(t *testing.T) {
+	p := core.PresetCCFIT()
+	eng := sim.NewEngine(1)
+	ids := &pkt.IDGen{}
+	n := New(eng, 0, &p, 8, ids)
+	for _, dst := range []int{-1, 8, 0 /* self */} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("dest %d accepted", dst)
+				}
+			}()
+			n.Offer(pkt.NewData(ids, 0, dst, 0, 64, 0))
+		}()
+	}
+}
+
+func TestInjectionPipelineSendsAtLineRate(t *testing.T) {
+	eng, n, w, ids := rig(t, core.Preset1Q())
+	for i := 0; i < 10; i++ {
+		n.Offer(pkt.NewData(ids, 0, 3, 0, pkt.MTU, 0))
+	}
+	eng.Run(32 * 12) // 10 MTUs at 32 cycles each + slack
+	if len(w.pkts) != 10 {
+		t.Fatalf("sent %d packets, want 10", len(w.pkts))
+	}
+	if n.Stats().Sent != 10 {
+		t.Fatalf("Sent stat = %d", n.Stats().Sent)
+	}
+	// Line rate: last packet's arrival no later than 10*32 + pipeline slack.
+	if got := eng.Now(); got > 32*12 {
+		t.Fatalf("took %d cycles", got)
+	}
+}
+
+func TestCreditGateBlocksInjection(t *testing.T) {
+	eng := sim.NewEngine(3)
+	ids := &pkt.IDGen{}
+	p := core.Preset1Q()
+	n := New(eng, 0, &p, 8, ids)
+	w := &wire{eng: eng}
+	tx := link.NewHalf(eng, "up", 64, 2)
+	tx.SetReceivers(w, w)
+	n.AttachLink(tx, core.NewSharedCredits(2*pkt.MTU)) // room for 2 MTUs only
+	for i := 0; i < 6; i++ {
+		n.Offer(pkt.NewData(ids, 0, 3, 0, pkt.MTU, 0))
+	}
+	eng.Run(1000)
+	if len(w.pkts) != 2 {
+		t.Fatalf("sent %d packets with 2 MTUs of credit, want 2", len(w.pkts))
+	}
+	// Returning credit resumes transmission.
+	n.ReceiveControl(link.Control{Kind: link.Credit, Bytes: pkt.MTU, Dest: 3})
+	eng.RunFor(100)
+	if len(w.pkts) != 3 {
+		t.Fatalf("sent %d after credit return, want 3", len(w.pkts))
+	}
+}
+
+func TestSinkConsumesAndReturnsCredit(t *testing.T) {
+	eng, n, w, ids := rig(t, core.Preset1Q())
+	deliveries := 0
+	n.SetDeliverHook(func(p *pkt.Packet, now sim.Cycle) { deliveries++ })
+	eng.Run(5) // advance so the delivery timestamp is observable
+	dp := pkt.NewData(ids, 3, 0, 7, pkt.MTU, 0)
+	n.ReceivePacket(dp, -1)
+	eng.RunFor(5)
+	if deliveries != 1 || n.Stats().Delivered != 1 {
+		t.Fatal("delivery not recorded")
+	}
+	if dp.Delivered == 0 {
+		t.Fatal("delivery timestamp not set")
+	}
+	// An immediate credit return must have been sent upstream.
+	found := false
+	for _, c := range w.ctls {
+		if c.Kind == link.Credit && c.Bytes == pkt.MTU {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no credit return; ctls=%v", w.ctls)
+	}
+}
+
+func TestMisroutedDeliveryPanics(t *testing.T) {
+	_, n, _, ids := rig(t, core.Preset1Q())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misrouted packet accepted")
+		}
+	}()
+	n.ReceivePacket(pkt.NewData(ids, 3, 5 /* not this node */, 7, 64, 0), -1)
+}
+
+func TestFECNTriggersBECN(t *testing.T) {
+	eng, n, w, ids := rig(t, core.PresetCCFIT())
+	dp := pkt.NewData(ids, 3, 0, 7, pkt.MTU, 0)
+	dp.FECN = true
+	n.ReceivePacket(dp, -1)
+	eng.Run(50)
+	// A BECN addressed to source 3 naming this node as hot dest.
+	var becn *pkt.Packet
+	for _, p := range w.pkts {
+		if p.Kind == pkt.BECN {
+			becn = p
+		}
+	}
+	if becn == nil {
+		t.Fatal("no BECN sent after FECN delivery")
+	}
+	if becn.Dst != 3 || becn.CongDst != 0 {
+		t.Fatalf("BECN addressing: %+v", becn)
+	}
+	if n.Stats().FECNSeen != 1 || n.Stats().BECNsSent != 1 {
+		t.Fatalf("stats: %+v", n.Stats())
+	}
+}
+
+func TestBECNPacingLimitsRate(t *testing.T) {
+	p := core.PresetCCFIT() // pacing = CCTITimer/2
+	eng, n, w, ids := rig(t, p)
+	for i := 0; i < 20; i++ {
+		dp := pkt.NewData(ids, 3, 0, 7, pkt.MTU, 0)
+		dp.FECN = true
+		n.ReceivePacket(dp, -1)
+	}
+	eng.Run(100)
+	becns := 0
+	for _, q := range w.pkts {
+		if q.Kind == pkt.BECN {
+			becns++
+		}
+	}
+	if becns != 1 {
+		t.Fatalf("pacing broken: %d BECNs for a burst of marked packets, want 1", becns)
+	}
+	// After the pacing window another BECN may go out.
+	eng.Run(p.BECNPacing + 200)
+	dp := pkt.NewData(ids, 3, 0, 7, pkt.MTU, 0)
+	dp.FECN = true
+	n.ReceivePacket(dp, -1)
+	eng.RunFor(100)
+	becns = 0
+	for _, q := range w.pkts {
+		if q.Kind == pkt.BECN {
+			becns++
+		}
+	}
+	if becns != 2 {
+		t.Fatalf("BECNs after window = %d, want 2", becns)
+	}
+}
+
+func TestNoBECNWithoutThrottling(t *testing.T) {
+	eng, n, w, ids := rig(t, core.PresetFBICM())
+	dp := pkt.NewData(ids, 3, 0, 7, pkt.MTU, 0)
+	dp.FECN = true
+	n.ReceivePacket(dp, -1)
+	eng.Run(50)
+	for _, q := range w.pkts {
+		if q.Kind == pkt.BECN {
+			t.Fatal("FBICM node generated a BECN")
+		}
+	}
+}
+
+func TestBECNReceiptThrottlesFlow(t *testing.T) {
+	eng, n, w, ids := rig(t, core.PresetCCFIT())
+	// Receive a BECN telling this node to slow towards dest 4.
+	n.ReceivePacket(pkt.NewBECN(ids, 4, 0, 4, 0), -1)
+	if n.Throttler().CCTI(4) != 1 {
+		t.Fatalf("CCTI[4] = %d after BECN", n.Throttler().CCTI(4))
+	}
+	if n.Stats().BECNsReceived != 1 {
+		t.Fatal("BECN not counted")
+	}
+	// Offer a burst to dest 4: the IRD gate spaces out injections.
+	for i := 0; i < 4; i++ {
+		n.Offer(pkt.NewData(ids, 0, 4, 0, pkt.MTU, 0))
+	}
+	eng.Run(20)
+	if n.Stats().ThrottleStalls == 0 {
+		t.Skip("IRD shorter than serialization; nothing observable")
+	}
+	_ = w
+}
+
+func TestThrottledDestDoesNotBlockOthers(t *testing.T) {
+	eng, n, w, ids := rig(t, core.PresetCCFIT())
+	// Heavy throttling towards dest 4.
+	for i := 0; i < 40; i++ {
+		n.ReceivePacket(pkt.NewBECN(ids, 4, 0, 4, 0), -1)
+	}
+	n.Offer(pkt.NewData(ids, 0, 4, 0, pkt.MTU, 0))
+	n.Offer(pkt.NewData(ids, 0, 3, 1, pkt.MTU, 0))
+	eng.Run(200)
+	sentTo3 := false
+	for _, q := range w.pkts {
+		if q.Kind == pkt.Data && q.Dst == 3 {
+			sentTo3 = true
+		}
+	}
+	if !sentTo3 {
+		t.Fatal("unthrottled destination blocked behind a throttled one")
+	}
+}
+
+func TestIsolationAtIAOutputBuffer(t *testing.T) {
+	// CCFIT IAs have NFQ+CFQs (Fig. 2): when the switch announces a
+	// congestion point via CFQAlloc, the IA isolates matching packets.
+	eng, n, _, ids := rig(t, core.PresetCCFIT())
+	n.ReceiveControl(link.Control{Kind: link.CFQAlloc, CFQ: 0, Dests: []int{4}})
+	n.Offer(pkt.NewData(ids, 0, 4, 0, pkt.MTU, 0))
+	eng.Run(10)
+	iso, ok := n.Disc().(*core.IsolationUnit)
+	if !ok {
+		t.Fatal("CCFIT IA output buffer is not an isolation unit")
+	}
+	if iso.ActiveLines() != 1 {
+		t.Fatalf("IA did not isolate: %d active lines", iso.ActiveLines())
+	}
+}
+
+func TestVOQnetIAUsesPerDestQueues(t *testing.T) {
+	p := core.PresetVOQnet()
+	eng := sim.NewEngine(1)
+	ids := &pkt.IDGen{}
+	n := New(eng, 0, &p, 8, ids)
+	if _, ok := n.Disc().(core.DestOccupancy); !ok {
+		t.Fatal("VOQnet IA output buffer lacks per-destination queues")
+	}
+}
+
+func TestDoubleAttachPanics(t *testing.T) {
+	eng, n, _, _ := rig(t, core.Preset1Q())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double attach accepted")
+		}
+	}()
+	tx := link.NewHalf(eng, "x", 64, 1)
+	n.AttachLink(tx, core.NewSharedCredits(1024))
+}

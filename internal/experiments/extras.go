@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Extras returns experiments beyond the paper's figures: ablations and
+// related-work comparisons that the paper discusses but does not plot.
+// They run and render exactly like Registry() entries.
+func Extras() []Experiment {
+	bin := sim.CyclesFromNS(50_000)
+	return []Experiment{
+		{
+			ID:    "xqueueing",
+			Title: "Extra: HoL-reduction queue schemes (related work, Section II) under Case #4 (4 trees)",
+			Paper: "not a paper figure; compares the static queue organisations the paper cites (1Q, DBBM, VOQsw, OBQA, VOQnet) against FBICM's dynamic isolation on the Config #3 burst",
+			Kind:  Throughput,
+			Schemes: []string{
+				"1Q", "DBBM", "VOQsw", "OBQA", "VOQnet", "FBICM",
+			},
+			Duration: ms(4),
+			Bin:      bin,
+			Build: func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
+				return BuildConfig3(p, seed, bin, end, 4)
+			},
+		},
+		{
+			ID:    "xfairness",
+			Title: "Extra: parking-lot fairness across every scheme (Config #1, steady contributors)",
+			Paper: "not a paper figure; extends the Fig. 9 fairness story to the full scheme set",
+			Kind:  FlowBandwidth,
+			Schemes: []string{
+				"1Q", "DBBM", "VOQsw", "OBQA", "VOQnet", "FBICM", "ITh", "CCFIT",
+			},
+			Duration: ms(6),
+			Bin:      bin,
+			FlowIDs:  []int{1, 2, 5, 6},
+			Build: func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
+				n, err := network.Build(topo.Config1(), p, network.Options{Seed: seed, BinCycles: bin})
+				if err != nil {
+					return nil, err
+				}
+				return n, n.AddFlows(parkingLotFlows(end))
+			},
+		},
+	}
+}
+
+// parkingLotFlows is the steady four-contributor hot spot used by the
+// xfairness extra (all contributors active from t=0).
+func parkingLotFlows(end sim.Cycle) []traffic.Flow {
+	return []traffic.Flow{
+		{ID: 1, Src: 1, Dst: 4, Start: 0, End: end, Rate: 1.0},
+		{ID: 2, Src: 2, Dst: 4, Start: 0, End: end, Rate: 1.0},
+		{ID: 5, Src: 5, Dst: 4, Start: 0, End: end, Rate: 1.0},
+		{ID: 6, Src: 6, Dst: 4, Start: 0, End: end, Rate: 1.0},
+	}
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// RenderTable1 prints Table I with the values derived from the actual
+// generated topologies (so the reproduction is checked, not asserted).
+func RenderTable1(w io.Writer) {
+	c1 := topo.Config1()
+	c2 := topo.Config2()
+	c3 := topo.Config3()
+	row := func(name string, vals ...string) {
+		fmt.Fprintf(w, "%-18s | %-22s | %-22s | %-22s\n", name, vals[0], vals[1], vals[2])
+	}
+	fmt.Fprintln(w, "Table I. Evaluated interconnection network configurations")
+	fmt.Fprintln(w, strings.Repeat("-", 94))
+	row("", "Config. #1", "Config. #2", "Config. #3")
+	fmt.Fprintln(w, strings.Repeat("-", 94))
+	row("# Nodes", fmt.Sprint(c1.NumEndpoints()), fmt.Sprint(c2.NumEndpoints()), fmt.Sprint(c3.NumEndpoints()))
+	row("Topology", "Ad-hoc (Fig. 5)", "2-ary 3-tree", "4-ary 3-tree")
+	row("# Switches", fmt.Sprint(len(c1.Switches())), fmt.Sprint(len(c2.Switches())), fmt.Sprint(len(c3.Switches())))
+	row("Crossbar BW", "5 GB/s", "2.5 GB/s", "2.5 GB/s")
+	row("Switching", "Virtual Cut-Through", "Virtual Cut-Through", "Virtual Cut-Through")
+	row("Scheduling", "iSlip", "iSlip", "iSlip")
+	row("Packet MTU", fmt.Sprintf("%d Bytes", pkt.MTU), fmt.Sprintf("%d Bytes", pkt.MTU), fmt.Sprintf("%d Bytes", pkt.MTU))
+	row("Memory Size", "64 KB", "64 KB", "64 KB")
+	row("Link Bandwidth", "2.5, 5 GB/s", "2.5 GB/s", "2.5 GB/s")
+	row("Flow Control", "Credit-based", "Credit-based", "Credit-based")
+	row("Routing", "Deterministic", "DET", "DET")
+	row("Routing Logic", "Table-based", "Table-based", "Table-based")
+	fmt.Fprintln(w, strings.Repeat("-", 94))
+	fmt.Fprintf(w, "cycle = %.1f ns (64 B flit at 2.5 GB/s); link delay = %d cycles\n",
+		sim.CycleNS, topo.DefaultLinkDelay)
+}
+
+// RenderThroughput prints a throughput-versus-time experiment as a
+// table: one row per time bin, one column per scheme (normalized
+// network throughput, the paper's y-axis).
+func RenderThroughput(w io.Writer, exp Experiment, results []*Result) {
+	fmt.Fprintln(w, exp.Title)
+	fmt.Fprintf(w, "paper: %s\n", exp.Paper)
+	fmt.Fprint(w, "t(ms)  ")
+	for _, r := range results {
+		fmt.Fprintf(w, "%8s", r.Scheme)
+	}
+	fmt.Fprintln(w)
+	if len(results) == 0 {
+		return
+	}
+	for i := range results[0].TimeMS {
+		fmt.Fprintf(w, "%5.2f  ", results[0].TimeMS[i])
+		for _, r := range results {
+			v := 0.0
+			if i < len(r.Normalized) {
+				v = r.Normalized[i]
+			}
+			fmt.Fprintf(w, "%8.3f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprint(w, "mean   ")
+	for _, r := range results {
+		fmt.Fprintf(w, "%8.3f", r.Summary.MeanNormalized)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderFlows prints per-flow bandwidth series (GB/s), one sub-table
+// per scheme — the layout of Figs. 9 and 10.
+func RenderFlows(w io.Writer, exp Experiment, results []*Result) {
+	fmt.Fprintln(w, exp.Title)
+	fmt.Fprintf(w, "paper: %s\n", exp.Paper)
+	for _, r := range results {
+		fmt.Fprintf(w, "-- %s --\n", r.Scheme)
+		fmt.Fprint(w, "t(ms)  ")
+		for _, f := range r.Flows {
+			fmt.Fprintf(w, "      F%d", f.ID)
+		}
+		fmt.Fprintln(w)
+		for i := range r.TimeMS {
+			fmt.Fprintf(w, "%5.2f  ", r.TimeMS[i])
+			for _, f := range r.Flows {
+				v := 0.0
+				if i < len(f.GBs) {
+					v = f.GBs[i]
+				}
+				fmt.Fprintf(w, "%8.3f", v)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// RenderSummary prints the per-run congestion-management counters.
+func RenderSummary(w io.Writer, results []*Result) {
+	fmt.Fprintf(w, "%-8s %10s %8s %8s %8s %8s %8s %8s %8s %10s\n",
+		"scheme", "delivered", "becns", "marked", "detect", "lazy", "exhaust", "dealloc", "maxCFQ", "avgLat(ns)")
+	for _, r := range results {
+		s := r.Summary
+		fmt.Fprintf(w, "%-8s %10d %8d %8d %8d %8d %8d %8d %8d %10.0f\n",
+			r.Scheme, s.DeliveredPkts, s.BECNs, s.Marked, s.Detections,
+			s.LazyAllocs, s.CAMExhausted, s.Deallocs, s.MaxCFQsInUse, s.AvgLatencyNS)
+	}
+}
+
+// WriteCSV emits a machine-readable form of a result set: throughput
+// experiments produce time,scheme columns; flow experiments produce
+// time plus scheme/flow columns.
+func WriteCSV(w io.Writer, exp Experiment, results []*Result) {
+	if len(results) == 0 {
+		return
+	}
+	switch exp.Kind {
+	case Throughput:
+		fmt.Fprint(w, "time_ms")
+		for _, r := range results {
+			fmt.Fprintf(w, ",%s", r.Scheme)
+		}
+		fmt.Fprintln(w)
+		for i := range results[0].TimeMS {
+			fmt.Fprintf(w, "%.3f", results[0].TimeMS[i])
+			for _, r := range results {
+				v := 0.0
+				if i < len(r.Normalized) {
+					v = r.Normalized[i]
+				}
+				fmt.Fprintf(w, ",%.5f", v)
+			}
+			fmt.Fprintln(w)
+		}
+	case FlowBandwidth:
+		fmt.Fprint(w, "time_ms")
+		for _, r := range results {
+			for _, f := range r.Flows {
+				fmt.Fprintf(w, ",%s_F%d", r.Scheme, f.ID)
+			}
+		}
+		fmt.Fprintln(w)
+		for i := range results[0].TimeMS {
+			fmt.Fprintf(w, "%.3f", results[0].TimeMS[i])
+			for _, r := range results {
+				for _, f := range r.Flows {
+					v := 0.0
+					if i < len(f.GBs) {
+						v = f.GBs[i]
+					}
+					fmt.Fprintf(w, ",%.5f", v)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

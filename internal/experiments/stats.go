@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Replication is the multi-seed statistical summary of one
+// (experiment, scheme) pair: mean and sample standard deviation of the
+// headline metrics across independent seeds, plus the per-bin mean
+// series. Single-seed results are exact re-runs (the simulator is
+// deterministic per seed); replications quantify how much the figures
+// depend on the random streams (uniform destinations, marking coins).
+type Replication struct {
+	ExpID  string
+	Scheme string
+	Seeds  []int64
+
+	// MeanNormalized / StdNormalized summarise the run-mean normalized
+	// throughput across seeds.
+	MeanNormalized float64
+	StdNormalized  float64
+	// MeanDelivered / StdDelivered summarise delivered packet counts.
+	MeanDelivered float64
+	StdDelivered  float64
+	// SeriesMean is the per-bin mean of the normalized series.
+	SeriesMean []float64
+	// Results keeps the raw per-seed results.
+	Results []*Result
+}
+
+// RunSeeds executes an experiment under one scheme for every seed and
+// aggregates the replication statistics.
+func RunSeeds(exp Experiment, scheme string, seeds []int64) (*Replication, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: RunSeeds needs at least one seed")
+	}
+	rep := &Replication{ExpID: exp.ID, Scheme: scheme, Seeds: append([]int64(nil), seeds...)}
+	var norm, del []float64
+	for _, seed := range seeds {
+		r, err := Run(exp, scheme, seed)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, r)
+		norm = append(norm, r.Summary.MeanNormalized)
+		del = append(del, float64(r.Summary.DeliveredPkts))
+		if rep.SeriesMean == nil {
+			rep.SeriesMean = make([]float64, len(r.Normalized))
+		}
+		for i, v := range r.Normalized {
+			if i < len(rep.SeriesMean) {
+				rep.SeriesMean[i] += v
+			}
+		}
+	}
+	for i := range rep.SeriesMean {
+		rep.SeriesMean[i] /= float64(len(seeds))
+	}
+	rep.MeanNormalized, rep.StdNormalized = meanStd(norm)
+	rep.MeanDelivered, rep.StdDelivered = meanStd(del)
+	return rep, nil
+}
+
+// meanStd returns the mean and the sample standard deviation.
+func meanStd(xs []float64) (mean, std float64) {
+	n := float64(len(xs))
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(ss / (n - 1))
+}
+
+// RenderReplications prints a replication table: one row per scheme
+// with mean ± stddev across seeds.
+func RenderReplications(w io.Writer, exp Experiment, reps []*Replication) {
+	fmt.Fprintf(w, "%s — %d seeds per scheme\n", exp.Title, seedCount(reps))
+	fmt.Fprintf(w, "%-8s %16s %20s\n", "scheme", "norm (mean±sd)", "delivered (mean±sd)")
+	for _, r := range reps {
+		fmt.Fprintf(w, "%-8s %8.3f ±%5.3f %12.0f ±%7.0f\n",
+			r.Scheme, r.MeanNormalized, r.StdNormalized, r.MeanDelivered, r.StdDelivered)
+	}
+}
+
+func seedCount(reps []*Replication) int {
+	if len(reps) == 0 {
+		return 0
+	}
+	return len(reps[0].Seeds)
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(m-5) > 1e-12 {
+		t.Fatalf("mean %v", m)
+	}
+	// Sample stddev of that classic set is ~2.138.
+	if math.Abs(s-2.13809) > 1e-4 {
+		t.Fatalf("std %v", s)
+	}
+	m, s = meanStd([]float64{3})
+	if m != 3 || s != 0 {
+		t.Fatalf("single-sample %v %v", m, s)
+	}
+}
+
+func TestRunSeedsDeterministicPerSeed(t *testing.T) {
+	exp, err := ByID("fig7a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.Duration = ms(0.4)
+	// Same seed twice: zero variance (the simulator is deterministic).
+	rep, err := RunSeeds(exp, "CCFIT", []int64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StdNormalized != 0 || rep.StdDelivered != 0 {
+		t.Fatalf("same-seed variance nonzero: %+v", rep)
+	}
+	if len(rep.Results) != 2 || len(rep.SeriesMean) == 0 {
+		t.Fatal("results not collected")
+	}
+	if rep.MeanNormalized <= 0 {
+		t.Fatal("mean normalized not positive")
+	}
+	// Series mean equals the single run's series for identical seeds.
+	for i, v := range rep.SeriesMean {
+		if math.Abs(v-rep.Results[0].Normalized[i]) > 1e-12 {
+			t.Fatal("series mean broken")
+		}
+	}
+}
+
+func TestRunSeedsVariesAcrossSeeds(t *testing.T) {
+	// Uniform traffic (case #3) makes different seeds differ.
+	exp, err := ByID("fig7c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.Duration = ms(0.5)
+	rep, err := RunSeeds(exp, "1Q", []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StdDelivered == 0 {
+		t.Fatal("uniform traffic identical across seeds — RNG streams broken")
+	}
+}
+
+func TestRunSeedsValidation(t *testing.T) {
+	exp, _ := ByID("fig7a")
+	if _, err := RunSeeds(exp, "CCFIT", nil); err == nil {
+		t.Fatal("empty seed list accepted")
+	}
+	exp.Duration = ms(0.2)
+	if _, err := RunSeeds(exp, "bogus", []int64{1}); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+}
+
+func TestRenderReplications(t *testing.T) {
+	exp, _ := ByID("fig7a")
+	exp.Duration = ms(0.3)
+	rep, err := RunSeeds(exp, "1Q", []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderReplications(&buf, exp, []*Replication{rep})
+	out := buf.String()
+	if !strings.Contains(out, "1Q") || !strings.Contains(out, "2 seeds") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestRecoveryTime(t *testing.T) {
+	r := &Result{
+		BinMS:  1,
+		TimeMS: []float64{0, 1, 2, 3, 4, 5, 6, 7},
+	}
+	series := []float64{5, 1, 1, 2, 5, 5, 5, 5}
+	// From t=1, level 4, hold 2: bins 4 and 5 are the first pair.
+	if got := RecoveryTime(r, series, 1, 4, 2); got != 4 {
+		t.Fatalf("recovery at %v, want 4", got)
+	}
+	// Level never held long enough.
+	if got := RecoveryTime(r, []float64{1, 5, 1, 5, 1, 5, 1, 5}, 0, 4, 2); got != -1 {
+		t.Fatalf("impossible recovery at %v", got)
+	}
+	// hold defaults to 1.
+	if got := RecoveryTime(r, series, 0, 4, 0); got != 0 {
+		t.Fatalf("hold-1 recovery at %v", got)
+	}
+}
+
+// TestReactionTimeOrdering quantifies the paper's central timing claim
+// on Case #1: after the last contributors join at 6 ms, the victim
+// flow recovers to >2.3 GB/s essentially immediately under the
+// isolation schemes (FBICM, CCFIT), while pure throttling (ITh) takes
+// longer and 1Q never recovers.
+func TestReactionTimeOrdering(t *testing.T) {
+	exp, err := ByID("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovery := func(scheme string) float64 {
+		r, err := Run(exp, scheme, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var victim []float64
+		for _, f := range r.Flows {
+			if f.ID == 0 {
+				victim = f.GBs
+			}
+		}
+		return RecoveryTime(r, victim, 6.0, 2.3, 4)
+	}
+	fbicm := recovery("FBICM")
+	ccfit := recovery("CCFIT")
+	ith := recovery("ITh")
+	oneq := recovery("1Q")
+	if fbicm < 0 || ccfit < 0 {
+		t.Fatalf("isolation schemes never recovered (fbicm=%v ccfit=%v)", fbicm, ccfit)
+	}
+	if fbicm > 6.5 || ccfit > 6.5 {
+		t.Fatalf("isolation not immediate: fbicm=%.2f ccfit=%.2f ms", fbicm, ccfit)
+	}
+	if ith >= 0 && ith < ccfit {
+		t.Fatalf("throttling alone (%.2f ms) beat isolation (%.2f ms)", ith, ccfit)
+	}
+	if oneq >= 0 {
+		t.Fatalf("1Q recovered at %.2f ms; HoL blocking should persist", oneq)
+	}
+}

@@ -1,0 +1,174 @@
+// Package link models the network links: serialization at a configured
+// bandwidth (bytes/cycle), propagation delay, and an out-of-band
+// control channel carrying the credit returns of the credit-based
+// link-level flow control plus the FBICM/CCFIT congestion-information
+// protocol (CFQ allocation/deallocation notifications and per-CFQ
+// Stop/Go flow control). Control messages experience the link's
+// propagation delay but consume no data bandwidth (they are a few bytes
+// against 2 KB MTUs; see DESIGN.md substitutions).
+package link
+
+import (
+	"fmt"
+
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// CtlKind enumerates control-channel message types.
+type CtlKind uint8
+
+const (
+	// Credit returns freed buffer space (Bytes) to the upstream output
+	// port, implementing credit-based flow control (Table I).
+	Credit CtlKind = iota
+	// CFQAlloc tells the upstream output port that the downstream
+	// input port allocated CFQ index CFQ for the congestion point
+	// described by Dests; the upstream allocates an output CAM line.
+	CFQAlloc
+	// CFQStop stops forwarding into downstream CFQ index CFQ.
+	CFQStop
+	// CFQGo re-enables forwarding into downstream CFQ index CFQ.
+	CFQGo
+	// CFQDealloc tears down the upstream output CAM line for CFQ.
+	CFQDealloc
+)
+
+func (k CtlKind) String() string {
+	switch k {
+	case Credit:
+		return "credit"
+	case CFQAlloc:
+		return "cfq-alloc"
+	case CFQStop:
+		return "cfq-stop"
+	case CFQGo:
+		return "cfq-go"
+	case CFQDealloc:
+		return "cfq-dealloc"
+	default:
+		return fmt.Sprintf("ctl(%d)", uint8(k))
+	}
+}
+
+// Control is an out-of-band message flowing from an input port to the
+// output port feeding it (upstream direction only; the forward
+// direction carries its information in packet headers, e.g. FECN).
+type Control struct {
+	Kind  CtlKind
+	Bytes int   // Credit: freed bytes
+	Dest  int   // Credit: destination queue (per-destination flow control)
+	CFQ   int   // CFQ index at the *sending* (downstream) input port
+	Dests []int // CFQAlloc: congestion-point destination set
+}
+
+// PacketReceiver consumes packets at the far end of a link direction.
+type PacketReceiver interface {
+	// ReceivePacket delivers p. cfq is the downstream CFQ index the
+	// sender targeted for direct CFQ-to-CFQ forwarding, or -1 to use
+	// the normal queue path.
+	ReceivePacket(p *pkt.Packet, cfq int)
+}
+
+// ControlReceiver consumes control messages at the far end.
+type ControlReceiver interface {
+	ReceiveControl(m Control)
+}
+
+// Half is one direction of a link: the transmit side owned by a device
+// port. Both directions of a physical link are independent Halves with
+// identical bandwidth and delay.
+type Half struct {
+	eng       *sim.Engine
+	name      string
+	bpc       int
+	delay     sim.Cycle
+	busyUntil sim.Cycle
+	pktRx     PacketReceiver
+	ctlRx     ControlReceiver
+
+	// Utilization accounting.
+	busyCycles sim.Cycle
+	sentPkts   int
+	sentBytes  int
+}
+
+// NewHalf builds a transmit direction with the given bandwidth
+// (bytes/cycle) and propagation delay. Receivers are attached later
+// with SetReceivers (network assembly wires both directions).
+func NewHalf(eng *sim.Engine, name string, bytesPerCycle int, delay sim.Cycle) *Half {
+	if bytesPerCycle <= 0 {
+		panic("link: bandwidth must be positive")
+	}
+	if delay < 0 {
+		panic("link: negative delay")
+	}
+	return &Half{eng: eng, name: name, bpc: bytesPerCycle, delay: delay}
+}
+
+// SetReceivers attaches the far-end packet and control consumers.
+func (h *Half) SetReceivers(p PacketReceiver, c ControlReceiver) {
+	h.pktRx = p
+	h.ctlRx = c
+}
+
+// BytesPerCycle returns the direction's bandwidth.
+func (h *Half) BytesPerCycle() int { return h.bpc }
+
+// Delay returns the propagation delay.
+func (h *Half) Delay() sim.Cycle { return h.delay }
+
+// TxCycles returns the serialization time of a packet of `size` bytes.
+func (h *Half) TxCycles(size int) sim.Cycle {
+	return sim.Cycle((size + h.bpc - 1) / h.bpc)
+}
+
+// Free reports whether a new transfer may start now.
+func (h *Half) Free(now sim.Cycle) bool { return h.busyUntil <= now }
+
+// FreeAt returns the cycle the direction becomes idle.
+func (h *Half) FreeAt() sim.Cycle { return h.busyUntil }
+
+// Send starts transmitting p now; the far end receives it after
+// serialization plus propagation. cfq targets a downstream CFQ (-1 for
+// the normal path). Send panics if the direction is busy — callers must
+// arbitrate first, and transmitting over a busy link would corrupt the
+// bandwidth model. It returns the cycle at which the tail leaves the
+// wire (busy horizon).
+func (h *Half) Send(now sim.Cycle, p *pkt.Packet, cfq int) sim.Cycle {
+	if !h.Free(now) {
+		panic(fmt.Sprintf("link %s: Send at %d while busy until %d", h.name, now, h.busyUntil))
+	}
+	if h.pktRx == nil {
+		panic(fmt.Sprintf("link %s: no packet receiver attached", h.name))
+	}
+	tx := h.TxCycles(p.Size)
+	h.busyUntil = now + tx
+	h.busyCycles += tx
+	h.sentPkts++
+	h.sentBytes += p.Size
+	arrive := h.busyUntil + h.delay
+	rx := h.pktRx
+	h.eng.At(arrive, func() { rx.ReceivePacket(p, cfq) })
+	return h.busyUntil
+}
+
+// Name returns the direction's diagnostic name.
+func (h *Half) Name() string { return h.name }
+
+// BusyCycles returns the cumulative cycles this direction spent
+// serializing packets; divided by elapsed time it is the utilization.
+func (h *Half) BusyCycles() sim.Cycle { return h.busyCycles }
+
+// Sent returns the packet and byte counts transmitted so far.
+func (h *Half) Sent() (pkts, bytes int) { return h.sentPkts, h.sentBytes }
+
+// SendControl delivers m to the far end after the propagation delay,
+// consuming no data bandwidth.
+func (h *Half) SendControl(now sim.Cycle, m Control) {
+	if h.ctlRx == nil {
+		panic(fmt.Sprintf("link %s: no control receiver attached", h.name))
+	}
+	rx := h.ctlRx
+	h.eng.At(now+h.delay, func() { rx.ReceiveControl(m) })
+}

@@ -1,0 +1,170 @@
+package link
+
+import (
+	"testing"
+
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+type sink struct {
+	pkts []*pkt.Packet
+	cfqs []int
+	ctls []Control
+	at   []sim.Cycle
+	eng  *sim.Engine
+}
+
+func (s *sink) ReceivePacket(p *pkt.Packet, cfq int) {
+	s.pkts = append(s.pkts, p)
+	s.cfqs = append(s.cfqs, cfq)
+	s.at = append(s.at, s.eng.Now())
+}
+func (s *sink) ReceiveControl(m Control) {
+	s.ctls = append(s.ctls, m)
+	s.at = append(s.at, s.eng.Now())
+}
+
+func setup(bpc int, delay sim.Cycle) (*sim.Engine, *Half, *sink) {
+	eng := sim.NewEngine(1)
+	h := NewHalf(eng, "t", bpc, delay)
+	s := &sink{eng: eng}
+	h.SetReceivers(s, s)
+	return eng, h, s
+}
+
+func TestTxCycles(t *testing.T) {
+	_, h, _ := setup(64, 4)
+	cases := map[int]sim.Cycle{1: 1, 64: 1, 65: 2, 2048: 32}
+	for size, want := range cases {
+		if got := h.TxCycles(size); got != want {
+			t.Fatalf("TxCycles(%d) = %d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestSendTiming(t *testing.T) {
+	eng, h, s := setup(64, 4)
+	var g pkt.IDGen
+	p := pkt.NewData(&g, 0, 1, 0, 2048, 0)
+	done := h.Send(eng.Now(), p, -1)
+	if done != 32 {
+		t.Fatalf("busy horizon = %d, want 32", done)
+	}
+	if h.Free(10) {
+		t.Fatal("link free mid-transfer")
+	}
+	eng.Run(40)
+	// Arrival = serialization (32) + propagation (4).
+	if len(s.pkts) != 1 || s.at[0] != 36 {
+		t.Fatalf("arrived %d packets, at %v; want 1 at 36", len(s.pkts), s.at)
+	}
+	if s.cfqs[0] != -1 {
+		t.Fatalf("cfq tag = %d, want -1", s.cfqs[0])
+	}
+	if !h.Free(32) {
+		t.Fatal("link not free after serialization completes")
+	}
+}
+
+func TestBackToBackPacketsKeepLineRate(t *testing.T) {
+	eng, h, s := setup(64, 0)
+	var g pkt.IDGen
+	for i := 0; i < 4; i++ {
+		eng.Run(h.FreeAt())
+		h.Send(eng.Now(), pkt.NewData(&g, 0, 1, 0, 2048, 0), -1)
+	}
+	eng.Run(200)
+	if len(s.pkts) != 4 {
+		t.Fatalf("delivered %d, want 4", len(s.pkts))
+	}
+	// 4 MTUs at 64 B/cyc = 128 cycles total, arrivals at 32,64,96,128.
+	for i, at := range s.at {
+		if at != sim.Cycle(32*(i+1)) {
+			t.Fatalf("arrival %d at cycle %d, want %d", i, at, 32*(i+1))
+		}
+	}
+}
+
+func TestDoubleBandwidthHalvesTime(t *testing.T) {
+	eng, h, s := setup(128, 0) // 5 GB/s inter-switch link of Config #1
+	var g pkt.IDGen
+	h.Send(0, pkt.NewData(&g, 0, 1, 0, 2048, 0), -1)
+	eng.Run(20)
+	if len(s.pkts) != 1 || s.at[0] != 16 {
+		t.Fatalf("arrival at %v, want [16]", s.at)
+	}
+}
+
+func TestSendWhileBusyPanics(t *testing.T) {
+	eng, h, _ := setup(64, 4)
+	var g pkt.IDGen
+	h.Send(0, pkt.NewData(&g, 0, 1, 0, 2048, 0), -1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send on busy link did not panic")
+		}
+	}()
+	h.Send(eng.Now(), pkt.NewData(&g, 0, 1, 0, 64, 0), -1)
+}
+
+func TestControlDelayAndNoBandwidth(t *testing.T) {
+	eng, h, s := setup(64, 5)
+	var g pkt.IDGen
+	// Control rides alongside a data transfer without waiting for it.
+	h.Send(0, pkt.NewData(&g, 0, 1, 0, 2048, 0), 1)
+	h.SendControl(0, Control{Kind: Credit, Bytes: 2048})
+	eng.Run(50)
+	if len(s.ctls) != 1 {
+		t.Fatalf("controls = %d, want 1", len(s.ctls))
+	}
+	if s.at[0] != 5 { // control first: delay only
+		t.Fatalf("control arrived at %d, want 5", s.at[0])
+	}
+	if s.ctls[0].Kind != Credit || s.ctls[0].Bytes != 2048 {
+		t.Fatalf("control = %+v", s.ctls[0])
+	}
+	if s.cfqs[0] != 1 {
+		t.Fatalf("direct-CFQ tag = %d, want 1", s.cfqs[0])
+	}
+}
+
+func TestCtlKindStrings(t *testing.T) {
+	for k, want := range map[CtlKind]string{
+		Credit: "credit", CFQAlloc: "cfq-alloc", CFQStop: "cfq-stop",
+		CFQGo: "cfq-go", CFQDealloc: "cfq-dealloc", CtlKind(42): "ctl(42)",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	for _, fn := range []func(){
+		func() { NewHalf(eng, "x", 0, 1) },
+		func() { NewHalf(eng, "x", 64, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad link params did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUnattachedReceiverPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	h := NewHalf(eng, "x", 64, 1)
+	var g pkt.IDGen
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send without receiver did not panic")
+		}
+	}()
+	h.Send(0, pkt.NewData(&g, 0, 1, 0, 64, 0), -1)
+}

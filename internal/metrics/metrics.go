@@ -1,0 +1,192 @@
+// Package metrics collects the two measurements the paper's evaluation
+// is built on (Section IV-A): per-flow bandwidth versus time (Figs. 9
+// and 10) and overall network throughput versus time (Figs. 7 and 8),
+// plus latency and packet accounting used by tests and diagnostics.
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// Collector accumulates time-binned delivery statistics. Register its
+// Delivered method as every node's deliver hook and Injected from the
+// traffic generator.
+type Collector struct {
+	binCycles    sim.Cycle
+	numEndpoints int
+	linkBPC      int
+
+	flowBins  map[int][]int64 // flow id -> delivered bytes per bin
+	totalBins []int64
+
+	InjectedPkts   int64
+	InjectedBytes  int64
+	DeliveredPkts  int64
+	DeliveredBytes int64
+
+	latencySum   int64 // cycles
+	latencyCount int64
+	latencyMax   sim.Cycle
+	latencyHist  *Histogram
+}
+
+// New builds a collector. binCycles is the time-bin width; linkBPC the
+// endpoint link bandwidth used for normalisation.
+func New(binCycles sim.Cycle, numEndpoints, linkBPC int) *Collector {
+	if binCycles <= 0 || numEndpoints <= 0 || linkBPC <= 0 {
+		panic("metrics: invalid collector parameters")
+	}
+	return &Collector{
+		binCycles:    binCycles,
+		numEndpoints: numEndpoints,
+		linkBPC:      linkBPC,
+		flowBins:     make(map[int][]int64),
+		latencyHist:  NewHistogram(),
+	}
+}
+
+// BinCycles returns the bin width in cycles.
+func (c *Collector) BinCycles() sim.Cycle { return c.binCycles }
+
+// BinMS returns the bin width in milliseconds.
+func (c *Collector) BinMS() float64 { return sim.MSFromCycles(c.binCycles) }
+
+// Injected records a packet entering the network at its source.
+func (c *Collector) Injected(p *pkt.Packet) {
+	c.InjectedPkts++
+	c.InjectedBytes += int64(p.Size)
+}
+
+// Delivered records a sink delivery; it implements endnode.DeliverHook.
+func (c *Collector) Delivered(p *pkt.Packet, now sim.Cycle) {
+	c.DeliveredPkts++
+	c.DeliveredBytes += int64(p.Size)
+	bin := int(now / c.binCycles)
+	c.totalBins = grow(c.totalBins, bin)
+	c.totalBins[bin] += int64(p.Size)
+	if p.Flow >= 0 {
+		fb := grow(c.flowBins[p.Flow], bin)
+		fb[bin] += int64(p.Size)
+		c.flowBins[p.Flow] = fb
+	}
+	lat := now - p.Injected
+	c.latencySum += int64(lat)
+	c.latencyCount++
+	if lat > c.latencyMax {
+		c.latencyMax = lat
+	}
+	c.latencyHist.Observe(lat)
+}
+
+func grow(s []int64, idx int) []int64 {
+	for len(s) <= idx {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// Flows returns the ids of all flows that delivered at least one
+// packet, in ascending order.
+func (c *Collector) Flows() []int {
+	var ids []int
+	for id := range c.flowBins {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// gbPerSec converts bytes-per-bin to GB/s.
+func (c *Collector) gbPerSec(bytes int64) float64 {
+	seconds := sim.NSFromCycles(c.binCycles) / 1e9
+	return float64(bytes) / seconds / 1e9
+}
+
+// FlowSeries returns flow id's bandwidth in GB/s per bin, padded to
+// `bins` entries (pass 0 to use the natural length).
+func (c *Collector) FlowSeries(flow, bins int) []float64 {
+	return c.series(c.flowBins[flow], bins)
+}
+
+// TotalSeries returns aggregate delivered bandwidth in GB/s per bin.
+func (c *Collector) TotalSeries(bins int) []float64 {
+	return c.series(c.totalBins, bins)
+}
+
+// NormalizedSeries returns network throughput per bin as a fraction of
+// the aggregate endpoint reception capacity (numEndpoints x link BW) —
+// the paper's "network efficiency when normalized".
+func (c *Collector) NormalizedSeries(bins int) []float64 {
+	out := c.TotalSeries(bins)
+	cap := float64(c.numEndpoints) * float64(c.linkBPC) / sim.CycleNS // GB/s: B/cyc / (ns/cyc) = GB/s
+	for i := range out {
+		out[i] /= cap
+	}
+	return out
+}
+
+func (c *Collector) series(bins []int64, want int) []float64 {
+	n := len(bins)
+	if want > n {
+		n = want
+	}
+	out := make([]float64, n)
+	for i, b := range bins {
+		out[i] = c.gbPerSec(b)
+	}
+	return out
+}
+
+// AvgLatencyNS returns the mean sink latency (injection to delivery).
+func (c *Collector) AvgLatencyNS() float64 {
+	if c.latencyCount == 0 {
+		return 0
+	}
+	return sim.NSFromCycles(sim.Cycle(c.latencySum / c.latencyCount))
+}
+
+// MaxLatencyNS returns the worst observed latency.
+func (c *Collector) MaxLatencyNS() float64 { return sim.NSFromCycles(c.latencyMax) }
+
+// LatencyPercentileNS returns an upper bound on the p-quantile of sink
+// latency in nanoseconds (log-bucketed; see Histogram).
+func (c *Collector) LatencyPercentileNS(p float64) float64 {
+	return c.latencyHist.PercentileNS(p)
+}
+
+// MeanFlowBandwidth returns a flow's average GB/s over [fromBin, toBin).
+func (c *Collector) MeanFlowBandwidth(flow, fromBin, toBin int) float64 {
+	s := c.FlowSeries(flow, toBin)
+	if fromBin < 0 || fromBin >= toBin || toBin > len(s) {
+		panic(fmt.Sprintf("metrics: bad bin range [%d,%d) of %d", fromBin, toBin, len(s)))
+	}
+	sum := 0.0
+	for _, v := range s[fromBin:toBin] {
+		sum += v
+	}
+	return sum / float64(toBin-fromBin)
+}
+
+// JainIndex computes Jain's fairness index over a set of values:
+// (sum x)^2 / (n * sum x^2); 1.0 is perfectly fair.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}

@@ -1,0 +1,291 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+func mkCollector() *Collector {
+	// 1000-cycle bins, 4 endpoints, 64 B/cycle links.
+	return New(1000, 4, 64)
+}
+
+func TestDeliveryBinning(t *testing.T) {
+	c := mkCollector()
+	var g pkt.IDGen
+	p1 := pkt.NewData(&g, 0, 1, 7, 2048, 0)
+	p2 := pkt.NewData(&g, 0, 1, 7, 2048, 0)
+	p3 := pkt.NewData(&g, 0, 1, 9, 1024, 0)
+	c.Delivered(p1, 500)  // bin 0
+	c.Delivered(p2, 1500) // bin 1
+	c.Delivered(p3, 1999) // bin 1
+	s := c.FlowSeries(7, 0)
+	if len(s) != 2 {
+		t.Fatalf("series length %d", len(s))
+	}
+	// 2048 bytes over 1000 cycles = 2048 / 25600ns = 0.08 GB/s
+	want := 2048.0 / (1000 * sim.CycleNS)
+	if math.Abs(s[0]-want) > 1e-9 || math.Abs(s[1]-want) > 1e-9 {
+		t.Fatalf("flow series %v, want %v per bin", s, want)
+	}
+	tot := c.TotalSeries(0)
+	if math.Abs(tot[1]-(2048+1024)/(1000*sim.CycleNS)) > 1e-9 {
+		t.Fatalf("total series %v", tot)
+	}
+	if c.DeliveredPkts != 3 || c.DeliveredBytes != 5120 {
+		t.Fatal("delivery counters wrong")
+	}
+}
+
+func TestNormalizedSeries(t *testing.T) {
+	c := mkCollector()
+	var g pkt.IDGen
+	// Saturate one bin: 4 endpoints x 64 B/cyc x 1000 cyc = 256000 B.
+	for i := 0; i < 125; i++ {
+		c.Delivered(pkt.NewData(&g, 0, 1, 0, 2048, 0), 10)
+	}
+	n := c.NormalizedSeries(1)
+	if math.Abs(n[0]-1.0) > 1e-9 {
+		t.Fatalf("normalized = %v, want 1.0", n[0])
+	}
+}
+
+func TestSeriesPadding(t *testing.T) {
+	c := mkCollector()
+	var g pkt.IDGen
+	c.Delivered(pkt.NewData(&g, 0, 1, 3, 64, 0), 100)
+	s := c.FlowSeries(3, 10)
+	if len(s) != 10 {
+		t.Fatalf("padded length %d, want 10", len(s))
+	}
+	for _, v := range s[1:] {
+		if v != 0 {
+			t.Fatal("padding not zero")
+		}
+	}
+	if got := c.FlowSeries(99, 5); len(got) != 5 {
+		t.Fatal("unknown flow not padded")
+	}
+}
+
+func TestLatencyTracking(t *testing.T) {
+	c := mkCollector()
+	var g pkt.IDGen
+	p1 := pkt.NewData(&g, 0, 1, 0, 64, 100)
+	p2 := pkt.NewData(&g, 0, 1, 0, 64, 100)
+	c.Delivered(p1, 200) // 100 cycles
+	c.Delivered(p2, 400) // 300 cycles
+	if got := c.AvgLatencyNS(); math.Abs(got-200*sim.CycleNS) > 1e-9 {
+		t.Fatalf("avg latency %v", got)
+	}
+	if got := c.MaxLatencyNS(); math.Abs(got-300*sim.CycleNS) > 1e-9 {
+		t.Fatalf("max latency %v", got)
+	}
+	empty := mkCollector()
+	if empty.AvgLatencyNS() != 0 {
+		t.Fatal("empty collector latency nonzero")
+	}
+}
+
+func TestFlowsSorted(t *testing.T) {
+	c := mkCollector()
+	var g pkt.IDGen
+	for _, f := range []int{9, 2, 5, 2} {
+		c.Delivered(pkt.NewData(&g, 0, 1, f, 64, 0), 0)
+	}
+	got := c.Flows()
+	want := []int{2, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("flows %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flows %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBECNsExcludedFromFlowSeries(t *testing.T) {
+	c := mkCollector()
+	var g pkt.IDGen
+	c.Delivered(pkt.NewBECN(&g, 1, 0, 1, 0), 10) // Flow == -1
+	if len(c.Flows()) != 0 {
+		t.Fatal("BECN created a flow series")
+	}
+	if c.DeliveredPkts != 1 {
+		t.Fatal("BECN not counted in totals")
+	}
+}
+
+func TestMeanFlowBandwidth(t *testing.T) {
+	c := mkCollector()
+	var g pkt.IDGen
+	c.Delivered(pkt.NewData(&g, 0, 1, 3, 2048, 500), 500)   // bin 0
+	c.Delivered(pkt.NewData(&g, 0, 1, 3, 2048, 1500), 1500) // bin 1
+	per := 2048.0 / (1000 * sim.CycleNS)
+	if got := c.MeanFlowBandwidth(3, 0, 2); math.Abs(got-per) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", got, per)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad bin range accepted")
+		}
+	}()
+	c.MeanFlowBandwidth(3, 2, 2)
+}
+
+func TestJainIndex(t *testing.T) {
+	if JainIndex(nil) != 1 || JainIndex([]float64{0, 0}) != 1 {
+		t.Fatal("degenerate Jain not 1")
+	}
+	if got := JainIndex([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal shares Jain %v", got)
+	}
+	// One flow hogging everything among n: index = 1/n.
+	if got := JainIndex([]float64{4, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("hog Jain %v, want 0.25", got)
+	}
+	// Paper's parking lot: two flows at double share of two others.
+	got := JainIndex([]float64{0.42, 0.42, 0.83, 0.83})
+	if got < 0.85 || got > 0.95 {
+		t.Fatalf("parking-lot Jain %v, want ~0.9", got)
+	}
+}
+
+func TestJainIndexBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		j := JainIndex(xs)
+		return j >= 1/float64(len(xs))-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectedCounters(t *testing.T) {
+	c := mkCollector()
+	var g pkt.IDGen
+	c.Injected(pkt.NewData(&g, 0, 1, 0, 2048, 0))
+	if c.InjectedPkts != 1 || c.InjectedBytes != 2048 {
+		t.Fatal("injection counters wrong")
+	}
+}
+
+func TestBadCollectorParamsPanic(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 4, 64) },
+		func() { New(10, 0, 64) },
+		func() { New(10, 4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad params accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBinMS(t *testing.T) {
+	c := New(sim.CyclesFromMS(0.05), 4, 64)
+	// 50 us rounds to 1953 cycles = 49.9968 us.
+	if math.Abs(c.BinMS()-0.05) > 1e-4 {
+		t.Fatalf("BinMS = %v", c.BinMS())
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	if h.Percentile(0.5) != 0 || h.Count() != 0 || h.MinNS() != 0 || h.MaxNS() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	// 100 samples at 10 cycles, 1 at 10000.
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	h.Observe(10000)
+	if h.Count() != 101 {
+		t.Fatalf("count %d", h.Count())
+	}
+	p50 := h.Percentile(0.5)
+	if p50 < 10 || p50 > 16 { // bucket top for 10 is 16
+		t.Fatalf("p50 = %d", p50)
+	}
+	p999 := h.Percentile(0.999)
+	if p999 != 10000 { // clamped to max
+		t.Fatalf("p999 = %d", p999)
+	}
+	if h.MinNS() != 10*sim.CycleNS || h.MaxNS() != 10000*sim.CycleNS {
+		t.Fatalf("extremes %v/%v", h.MinNS(), h.MaxNS())
+	}
+}
+
+func TestHistogramBucketMonotonicProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Observe(sim.Cycle(v % 1_000_000))
+		}
+		if len(raw) == 0 {
+			return true
+		}
+		// Percentiles are monotone in p.
+		prev := sim.Cycle(0)
+		for _, p := range []float64{0.1, 0.25, 0.5, 0.9, 0.99, 1.0} {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1)
+	for _, fn := range []func(){
+		func() { h.Observe(-1) },
+		func() { h.Percentile(0) },
+		func() { h.Percentile(1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad histogram input accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCollectorPercentileIntegration(t *testing.T) {
+	c := mkCollector()
+	var g pkt.IDGen
+	for i := 0; i < 100; i++ {
+		p := pkt.NewData(&g, 0, 1, 0, 64, 0)
+		c.Delivered(p, sim.Cycle(100+i))
+	}
+	p99 := c.LatencyPercentileNS(0.99)
+	if p99 < 100*sim.CycleNS || p99 > 256*sim.CycleNS {
+		t.Fatalf("p99 = %v ns", p99)
+	}
+}

@@ -1,0 +1,115 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// TestChaosControlMessages injects malformed and stale congestion
+// protocol messages (bogus CFQ indices, allocations for random
+// destinations, spurious Stop/Go/Dealloc) into every switch while a
+// congested CCFIT workload runs. The fabric must neither panic nor
+// lose packets, and must still tear all resources down afterwards —
+// the robustness a switch needs against a misbehaving neighbor.
+//
+// Credits are deliberately NOT fuzzed: credit messages are generated
+// by the local hardware's own accounting (not a protocol peer), and
+// injecting fake credit would legitimately overflow buffers.
+func TestChaosControlMessages(t *testing.T) {
+	p := core.PresetCCFIT()
+	n, err := Build(topo.Config1(), p, Options{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addFlows(t, n, []traffic.Flow{
+		{ID: 0, Src: 0, Dst: 3, Start: 0, End: 150_000, Rate: 1.0},
+		{ID: 1, Src: 1, Dst: 4, Start: 0, End: 150_000, Rate: 1.0},
+		{ID: 2, Src: 2, Dst: 4, Start: 0, End: 150_000, Rate: 1.0},
+		{ID: 5, Src: 5, Dst: 4, Start: 0, End: 150_000, Rate: 1.0},
+	})
+
+	rng := rand.New(rand.NewSource(99))
+	kinds := []link.CtlKind{link.CFQAlloc, link.CFQStop, link.CFQGo, link.CFQDealloc}
+	n.Eng.Register(sim.PhaseUpdate, func(now sim.Cycle) {
+		if now%97 != 0 || now > 150_000 {
+			return
+		}
+		sw := n.Switches[rng.Intn(len(n.Switches))]
+		port := rng.Intn(n.portCount(sw))
+		m := link.Control{
+			Kind: kinds[rng.Intn(len(kinds))],
+			CFQ:  rng.Intn(6) - 2, // includes invalid negatives and overflows
+		}
+		if m.Kind == link.CFQAlloc {
+			m.Dests = []int{rng.Intn(7)}
+		}
+		sw.ControlReceiver(port).ReceiveControl(m)
+	})
+
+	n.Run(500_000)
+	op, ob := n.TotalOffered()
+	dp, db := n.TotalDelivered()
+	if op != dp || ob != db {
+		t.Fatalf("chaos broke losslessness: offered %d/%d delivered %d/%d", op, ob, dp, db)
+	}
+	// Teardown completeness despite the garbage: the chaos can leave
+	// *output* CAM lines allocated (a fake Alloc is indistinguishable
+	// from a real one and its fake owner never deallocates), but input
+	// CFQs and their RAM must drain, and nothing may stay throttled or
+	// congested forever.
+	for _, sw := range n.Switches {
+		for i := 0; i < n.portCount(sw); i++ {
+			if iso, ok := sw.InputDisc(i).(*core.IsolationUnit); ok {
+				if iso.UsedBytes() != 0 {
+					t.Fatalf("%s port %d holds %d bytes after drain", sw.Name(), i, iso.UsedBytes())
+				}
+			}
+		}
+	}
+	for _, nd := range n.Nodes {
+		if th := nd.Throttler(); th != nil {
+			for d := 0; d < 7; d++ {
+				if th.CCTI(d) != 0 {
+					t.Fatalf("node %d stuck throttled towards %d", nd.ID(), d)
+				}
+			}
+		}
+	}
+	if dp == 0 {
+		t.Fatal("nothing delivered under chaos")
+	}
+}
+
+// TestChaosDirectCFQTags fuzzes the direct CFQ-to-CFQ delivery tag:
+// packets injected straight into switch ports with random (mostly
+// invalid) CFQ hints must all still be delivered in order.
+func TestChaosDirectCFQTags(t *testing.T) {
+	p := core.PresetCCFIT()
+	n, err := Build(topo.Config1(), p, Options{Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	sw := n.SwitchByDevice(topo.Config1SwitchB)
+	// Bypass the normal ingress: drop packets onto switch B's port 4
+	// with arbitrary cfq hints, as a buggy upstream would.
+	injected := 0
+	n.Eng.Register(sim.PhaseInject, func(now sim.Cycle) {
+		if now%64 != 0 || now > 50_000 {
+			return
+		}
+		pk := n.NewPacket(9, 3, injected)
+		sw.PacketReceiver(4).ReceivePacket(pk, rng.Intn(5)-2)
+		injected++
+	})
+	n.Run(200_000)
+	if got := n.Nodes[3].Stats().Delivered; got != injected {
+		t.Fatalf("delivered %d of %d fuzz-tagged packets", got, injected)
+	}
+}

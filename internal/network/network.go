@@ -1,0 +1,278 @@
+// Package network assembles a runnable simulation out of the building
+// blocks: it instantiates switches and end nodes for a topology,
+// computes routing tables, wires both directions of every link with
+// the configured bandwidth and delay, sizes the credit loops, and
+// attaches metrics collection and traffic generation.
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/endnode"
+	"repro/internal/link"
+	"repro/internal/metrics"
+	"repro/internal/pkt"
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/switchfab"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Options configure a build.
+type Options struct {
+	// Seed drives every random stream; identical seeds give identical
+	// runs. Defaults to 1.
+	Seed int64
+	// BinCycles is the metrics bin width (default: 50 us).
+	BinCycles sim.Cycle
+	// TieBreak selects equal-cost routes (nil = route.DefaultTieBreak;
+	// fat trees should pass (*topo.FatTree).DETTieBreak).
+	TieBreak route.TieBreak
+}
+
+// Network is a fully wired simulation instance.
+type Network struct {
+	Eng       *sim.Engine
+	Topo      *topo.Topology
+	Tables    *route.Tables
+	Params    core.Params
+	Switches  []*switchfab.Switch // indexed in device-id order of switches
+	Nodes     []*endnode.Node     // indexed by endpoint id
+	Collector *metrics.Collector
+	Gen       *traffic.Generator
+
+	ids     pkt.IDGen
+	byDev   map[int]*switchfab.Switch
+	linkBPC []int // injection bandwidth per endpoint
+	halves  []*link.Half
+}
+
+// Build wires a network for the given topology and scheme parameters.
+func Build(t *topo.Topology, p core.Params, opt Options) (*Network, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.BinCycles == 0 {
+		opt.BinCycles = sim.CyclesFromNS(50_000) // 50 us
+	}
+	tables, err := route.Compute(t, opt.TieBreak)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(opt.Seed)
+	ne := t.NumEndpoints()
+	n := &Network{
+		Eng:    eng,
+		Topo:   t,
+		Tables: tables,
+		Params: p,
+		byDev:  make(map[int]*switchfab.Switch),
+	}
+
+	// Endpoint injection bandwidths (for normalisation and traffic).
+	n.linkBPC = make([]int, ne)
+	minBPC := 0
+	for e := 0; e < ne; e++ {
+		dev := t.EndpointDevice(e)
+		l := t.Links[t.Devices[dev].Ports[0].Link]
+		n.linkBPC[e] = l.BytesPerCycle
+		if minBPC == 0 || l.BytesPerCycle < minBPC {
+			minBPC = l.BytesPerCycle
+		}
+	}
+	n.Collector = metrics.New(opt.BinCycles, ne, minBPC)
+
+	// Devices.
+	n.Nodes = make([]*endnode.Node, ne)
+	for e := 0; e < ne; e++ {
+		node := endnode.New(eng, e, &n.Params, ne, &n.ids)
+		node.SetDeliverHook(n.Collector.Delivered)
+		n.Nodes[e] = node
+	}
+	for _, d := range t.Devices {
+		if d.Kind != topo.Switch {
+			continue
+		}
+		dev := d.ID
+		// Crossbar bandwidth: the fastest link attached to the switch
+		// (Table I: 5 GB/s crossbars over mixed 2.5/5 GB/s links in
+		// Config #1; 2.5 GB/s crossbars in Configs #2/#3).
+		xbar := 0
+		for _, c := range d.Ports {
+			if c.Peer >= 0 && t.Links[c.Link].BytesPerCycle > xbar {
+				xbar = t.Links[c.Link].BytesPerCycle
+			}
+		}
+		sw := switchfab.New(eng, dev, d.Label, len(d.Ports), &n.Params,
+			func(dest int) int { return tables.OutPort(dev, dest) }, ne, xbar)
+		ports := d.Ports
+		sw.SetLookahead(func(out, dest int) int {
+			c := ports[out]
+			if c.Peer < 0 || t.Devices[c.Peer].Kind == topo.Endpoint {
+				return 0
+			}
+			nh := tables.OutPort(c.Peer, dest)
+			if nh < 0 {
+				return 0
+			}
+			return nh
+		})
+		n.Switches = append(n.Switches, sw)
+		n.byDev[dev] = sw
+	}
+
+	// Links: one Half per direction, receivers at the far end, credits
+	// sized to the far end's receive memory.
+	for li, ls := range t.Links {
+		ab := link.NewHalf(eng, fmt.Sprintf("L%d:%d->%d", li, ls.DevA, ls.DevB), ls.BytesPerCycle, ls.Delay)
+		ba := link.NewHalf(eng, fmt.Sprintf("L%d:%d->%d", li, ls.DevB, ls.DevA), ls.BytesPerCycle, ls.Delay)
+		ab.SetReceivers(n.pktRx(ls.DevB, ls.PortB), n.ctlRx(ls.DevB, ls.PortB))
+		ba.SetReceivers(n.pktRx(ls.DevA, ls.PortA), n.ctlRx(ls.DevA, ls.PortA))
+		n.attach(ls.DevA, ls.PortA, ab, n.creditPool(ls.DevB))
+		n.attach(ls.DevB, ls.PortB, ba, n.creditPool(ls.DevA))
+		n.halves = append(n.halves, ab, ba)
+	}
+	return n, nil
+}
+
+// creditPool builds the credit pool mirroring dev's receive buffers:
+// shared RAM for endpoints and most disciplines, per-destination
+// queues (Table I: 4 KB each) when the receiver is a VOQnet switch.
+func (n *Network) creditPool(dev int) *core.CreditPool {
+	if n.Topo.Devices[dev].Kind == topo.Endpoint {
+		return core.NewSharedCredits(n.Params.IARAM)
+	}
+	if n.Params.Disc == core.VOQNet {
+		return core.NewPerDestCredits(n.Topo.NumEndpoints(), n.Params.VOQNetQueueRAM)
+	}
+	return core.NewSharedCredits(n.Params.EffectivePortRAM(n.Topo.NumEndpoints()))
+}
+
+func (n *Network) pktRx(dev, port int) link.PacketReceiver {
+	if n.Topo.Devices[dev].Kind == topo.Endpoint {
+		return n.Nodes[n.Topo.Devices[dev].EndpointID]
+	}
+	return n.byDev[dev].PacketReceiver(port)
+}
+
+func (n *Network) ctlRx(dev, port int) link.ControlReceiver {
+	if n.Topo.Devices[dev].Kind == topo.Endpoint {
+		return n.Nodes[n.Topo.Devices[dev].EndpointID]
+	}
+	return n.byDev[dev].ControlReceiver(port)
+}
+
+func (n *Network) attach(dev, port int, tx *link.Half, credits *core.CreditPool) {
+	if n.Topo.Devices[dev].Kind == topo.Endpoint {
+		n.Nodes[n.Topo.Devices[dev].EndpointID].AttachLink(tx, credits)
+		return
+	}
+	n.byDev[dev].AttachLink(port, tx, credits)
+}
+
+// SwitchByDevice returns the switch with the given device id.
+func (n *Network) SwitchByDevice(dev int) *switchfab.Switch { return n.byDev[dev] }
+
+// AddFlows installs the traffic pattern. Call once before running.
+func (n *Network) AddFlows(flows []traffic.Flow) error {
+	if n.Gen != nil {
+		return fmt.Errorf("network: flows already installed")
+	}
+	gen, err := traffic.NewGenerator(n.Eng, n.Nodes, n.linkBPC, flows, &n.ids, n.Collector.Injected)
+	if err != nil {
+		return err
+	}
+	n.Gen = gen
+	return nil
+}
+
+// LinkLoad reports one link direction's lifetime statistics.
+type LinkLoad struct {
+	Name        string
+	Utilization float64 // busy cycles / elapsed cycles
+	Pkts        int
+	Bytes       int
+}
+
+// LinkLoads returns utilization for every link direction since the
+// start of the simulation, in wiring order — the data behind a link
+// heat map.
+func (n *Network) LinkLoads() []LinkLoad {
+	now := n.Eng.Now()
+	out := make([]LinkLoad, 0, len(n.halves))
+	for _, h := range n.halves {
+		l := LinkLoad{Name: h.Name()}
+		l.Pkts, l.Bytes = h.Sent()
+		if now > 0 {
+			l.Utilization = float64(h.BusyCycles()) / float64(now)
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// NewPacket mints an MTU-sized data packet with a network-unique id,
+// timestamped now — for tools and tests that inject traffic outside
+// the Generator.
+func (n *Network) NewPacket(src, dst, flow int) *pkt.Packet {
+	return pkt.NewData(&n.ids, src, dst, flow, pkt.MTU, n.Eng.Now())
+}
+
+// Run advances the simulation by d cycles.
+func (n *Network) Run(d sim.Cycle) { n.Eng.RunFor(d) }
+
+// RunMS advances the simulation by ms milliseconds of simulated time.
+func (n *Network) RunMS(ms float64) { n.Eng.RunFor(sim.CyclesFromMS(ms)) }
+
+// EndpointBPC returns endpoint e's injection-link bandwidth.
+func (n *Network) EndpointBPC(e int) int { return n.linkBPC[e] }
+
+// TotalOffered sums packets accepted into AdVOQs across all nodes.
+func (n *Network) TotalOffered() (pkts, bytes int) {
+	for _, nd := range n.Nodes {
+		pkts += nd.Stats().Offered
+		bytes += nd.Stats().OfferedBytes
+	}
+	return
+}
+
+// TotalDelivered sums sink deliveries across all nodes.
+func (n *Network) TotalDelivered() (pkts, bytes int) {
+	for _, nd := range n.Nodes {
+		pkts += nd.Stats().Delivered
+		bytes += nd.Stats().DeliveredBytes
+	}
+	return
+}
+
+// DiscStatsSum aggregates discipline counters over all switch ports.
+func (n *Network) DiscStatsSum() core.DiscStats {
+	var total core.DiscStats
+	for _, sw := range n.Switches {
+		for i := 0; i < n.portCount(sw); i++ {
+			s := sw.InputDisc(i).Stats()
+			total.Detections += s.Detections
+			total.LazyAllocs += s.LazyAllocs
+			total.CAMExhausted += s.CAMExhausted
+			total.Deallocs += s.Deallocs
+			total.PostMoves += s.PostMoves
+			total.StopsSent += s.StopsSent
+			total.GoesSent += s.GoesSent
+			total.DirectArrivals += s.DirectArrivals
+			total.MisroutedDirect += s.MisroutedDirect
+			if s.MaxCFQsInUse > total.MaxCFQsInUse {
+				total.MaxCFQsInUse = s.MaxCFQsInUse
+			}
+		}
+	}
+	return total
+}
+
+func (n *Network) portCount(sw *switchfab.Switch) int {
+	return len(n.Topo.Devices[sw.ID()].Ports)
+}

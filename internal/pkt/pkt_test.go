@@ -1,0 +1,91 @@
+package pkt
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIDGenUnique(t *testing.T) {
+	var g IDGen
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := g.Next()
+		if id == 0 {
+			t.Fatal("id 0 handed out; 0 is reserved for 'unset'")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNewData(t *testing.T) {
+	var g IDGen
+	p := NewData(&g, 3, 7, 11, MTU, 42)
+	if p.Kind != Data || p.Src != 3 || p.Dst != 7 || p.Flow != 11 || p.Size != MTU {
+		t.Fatalf("bad data packet: %+v", p)
+	}
+	if p.Injected != 42 {
+		t.Fatalf("Injected = %d, want 42", p.Injected)
+	}
+	if p.FECN {
+		t.Fatal("fresh packet must not be FECN-marked")
+	}
+}
+
+func TestNewBECN(t *testing.T) {
+	var g IDGen
+	// Node 7 got a FECN packet from node 3 addressed to 7: BECN goes
+	// 7 -> 3 and names 7 as the congested destination.
+	p := NewBECN(&g, 7, 3, 7, 100)
+	if p.Kind != BECN {
+		t.Fatalf("kind = %v, want BECN", p.Kind)
+	}
+	if p.Src != 7 || p.Dst != 3 || p.CongDst != 7 {
+		t.Fatalf("bad BECN addressing: %+v", p)
+	}
+	if p.Size != BECNSize {
+		t.Fatalf("size = %d, want %d", p.Size, BECNSize)
+	}
+	if p.Flow != -1 {
+		t.Fatalf("BECN flow = %d, want -1", p.Flow)
+	}
+}
+
+func TestStringMentionsFECN(t *testing.T) {
+	var g IDGen
+	p := NewData(&g, 0, 1, 0, MTU, 0)
+	if strings.Contains(p.String(), "FECN") {
+		t.Fatal("unmarked packet stringifies with FECN")
+	}
+	p.FECN = true
+	if !strings.Contains(p.String(), "FECN") {
+		t.Fatal("marked packet does not stringify with FECN")
+	}
+	if !strings.Contains(BECN.String(), "becn") || !strings.Contains(Data.String(), "data") {
+		t.Fatal("Kind.String broken")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind stringifies empty")
+	}
+}
+
+func TestIDGenMonotonicProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		var g IDGen
+		prev := uint64(0)
+		for i := 0; i < int(n)+1; i++ {
+			id := g.Next()
+			if id <= prev {
+				return false
+			}
+			prev = id
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package probe samples internal simulator gauges (queue occupancies,
+// credit balances, CCTI levels, CAM usage) on a fixed period and keeps
+// the resulting time series — the instrumentation used to inspect
+// congestion-tree dynamics beyond the paper's delivered-bandwidth
+// metrics.
+package probe
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Gauge returns a current value when sampled.
+type Gauge func() int
+
+// Sampler collects one or more named gauges every period cycles.
+type Sampler struct {
+	period sim.Cycle
+	names  []string
+	gauges []Gauge
+	series [][]int
+	times  []sim.Cycle
+}
+
+// NewSampler registers a sampler with the engine; it samples every
+// `period` cycles during the update phase.
+func NewSampler(eng *sim.Engine, period sim.Cycle) *Sampler {
+	if period <= 0 {
+		panic("probe: period must be positive")
+	}
+	s := &Sampler{period: period}
+	eng.Register(sim.PhaseUpdate, func(now sim.Cycle) {
+		if now%period == 0 {
+			s.sample(now)
+		}
+	})
+	return s
+}
+
+// Add registers a gauge under a name. Must be called before sampling
+// starts (gauges added later would skew the series alignment).
+func (s *Sampler) Add(name string, g Gauge) {
+	if len(s.times) > 0 {
+		panic("probe: Add after sampling started")
+	}
+	s.names = append(s.names, name)
+	s.gauges = append(s.gauges, g)
+	s.series = append(s.series, nil)
+}
+
+func (s *Sampler) sample(now sim.Cycle) {
+	s.times = append(s.times, now)
+	for i, g := range s.gauges {
+		s.series[i] = append(s.series[i], g())
+	}
+}
+
+// Names returns the registered gauge names.
+func (s *Sampler) Names() []string { return append([]string(nil), s.names...) }
+
+// Series returns the sampled values for a gauge name.
+func (s *Sampler) Series(name string) []int {
+	for i, n := range s.names {
+		if n == name {
+			return append([]int(nil), s.series[i]...)
+		}
+	}
+	return nil
+}
+
+// Times returns the sample instants in cycles.
+func (s *Sampler) Times() []sim.Cycle { return append([]sim.Cycle(nil), s.times...) }
+
+// Max returns the maximum sampled value of a gauge (0 if unsampled).
+func (s *Sampler) Max(name string) int {
+	max := 0
+	for _, v := range s.Series(name) {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Mean returns the average sampled value of a gauge.
+func (s *Sampler) Mean(name string) float64 {
+	vals := s.Series(name)
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	return float64(sum) / float64(len(vals))
+}
+
+// WriteCSV emits time_ms plus one column per gauge, in registration
+// order.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprint(w, "time_ms"); err != nil {
+		return err
+	}
+	for _, n := range s.names {
+		if _, err := fmt.Fprintf(w, ",%s", n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for i, at := range s.times {
+		if _, err := fmt.Fprintf(w, "%.4f", sim.MSFromCycles(at)); err != nil {
+			return err
+		}
+		for _, col := range s.series {
+			if _, err := fmt.Fprintf(w, ",%d", col[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TopK returns the k gauge names with the highest maxima — a quick way
+// to find the hottest ports after a run.
+func (s *Sampler) TopK(k int) []string {
+	type nv struct {
+		name string
+		max  int
+	}
+	all := make([]nv, len(s.names))
+	for i, n := range s.names {
+		all[i] = nv{n, s.Max(n)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].max != all[j].max {
+			return all[i].max > all[j].max
+		}
+		return all[i].name < all[j].name
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].name
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package probe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+func TestSamplerBasics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewSampler(eng, 10)
+	v := 0
+	s.Add("v", func() int { return v })
+	s.Add("2v", func() int { return 2 * v })
+	for i := 0; i < 35; i++ {
+		v = i
+		eng.Step()
+	}
+	// Samples at cycles 0, 10, 20, 30.
+	got := s.Series("v")
+	want := []int{0, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("series %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("series %v, want %v", got, want)
+		}
+	}
+	if s.Max("2v") != 60 {
+		t.Fatalf("max = %d", s.Max("2v"))
+	}
+	if s.Mean("v") != 15 {
+		t.Fatalf("mean = %v", s.Mean("v"))
+	}
+	if s.Series("missing") != nil {
+		t.Fatal("unknown gauge returned data")
+	}
+	if len(s.Times()) != 4 {
+		t.Fatalf("times %v", s.Times())
+	}
+	if n := s.Names(); len(n) != 2 || n[0] != "v" {
+		t.Fatalf("names %v", n)
+	}
+}
+
+func TestSamplerCSV(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewSampler(eng, 5)
+	s.Add("a", func() int { return 7 })
+	eng.Run(11)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "time_ms,a" || len(lines) != 4 {
+		t.Fatalf("csv:\n%s", buf.String())
+	}
+	if !strings.HasSuffix(lines[1], ",7") {
+		t.Fatalf("csv row: %q", lines[1])
+	}
+}
+
+func TestSamplerPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period accepted")
+		}
+	}()
+	NewSampler(eng, 0)
+}
+
+func TestAddAfterSamplingPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewSampler(eng, 1)
+	s.Add("a", func() int { return 1 })
+	eng.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("late Add accepted")
+		}
+	}()
+	s.Add("b", func() int { return 2 })
+}
+
+func TestTopK(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewSampler(eng, 1)
+	s.Add("small", func() int { return 1 })
+	s.Add("big", func() int { return 100 })
+	s.Add("mid", func() int { return 10 })
+	eng.Run(3)
+	top := s.TopK(2)
+	if len(top) != 2 || top[0] != "big" || top[1] != "mid" {
+		t.Fatalf("topk %v", top)
+	}
+	if len(s.TopK(99)) != 3 {
+		t.Fatal("topk overflow")
+	}
+}
+
+// TestProbeCongestionTree samples a CFQ occupancy through a congestion
+// episode: it must rise above the propagate threshold during the hot
+// spot and return to zero after the drain.
+func TestProbeCongestionTree(t *testing.T) {
+	p := core.PresetCCFIT()
+	n, err := network.Build(topo.Config1(), p, network.Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(n.Eng, 100)
+	// Switch B (device id 8), input port 4 (from switch A): the CFQ
+	// isolating the hot flows from nodes 1 and 2.
+	swB := n.SwitchByDevice(topo.Config1SwitchB)
+	iso := swB.InputDisc(4).(*core.IsolationUnit)
+	s.Add("swB:p4:cfq0", func() int { return iso.CFQBytes(0) })
+	s.Add("swB:p4:nfq", func() int { return iso.NFQBytes() })
+
+	err = n.AddFlows([]traffic.Flow{
+		{ID: 1, Src: 1, Dst: 4, Start: 0, End: 100_000, Rate: 1.0},
+		{ID: 2, Src: 2, Dst: 4, Start: 0, End: 100_000, Rate: 1.0},
+		{ID: 5, Src: 5, Dst: 4, Start: 0, End: 100_000, Rate: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(300_000)
+	if s.Max("swB:p4:cfq0") < p.PropagateThreshold {
+		t.Fatalf("CFQ never filled past the propagate threshold (max %d)", s.Max("swB:p4:cfq0"))
+	}
+	series := s.Series("swB:p4:cfq0")
+	if series[len(series)-1] != 0 {
+		t.Fatal("CFQ not drained at the end")
+	}
+	if top := s.TopK(1); top[0] != "swB:p4:cfq0" {
+		t.Fatalf("hottest gauge %v; the isolated CFQ should dominate the NFQ", top)
+	}
+}

@@ -1,0 +1,250 @@
+package route
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topo"
+)
+
+func TestConfig1Routing(t *testing.T) {
+	tp := topo.Config1()
+	r, err := Compute(tp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every src->dst pair delivers.
+	for s := 0; s < 7; s++ {
+		for d := 0; d < 7; d++ {
+			if s == d {
+				continue
+			}
+			path, err := r.Path(tp, s, d)
+			if err != nil {
+				t.Fatalf("%d->%d: %v", s, d, err)
+			}
+			// 0..2 to 3..6 must cross both switches (4 devices + 1).
+			if s <= 2 && d >= 3 && len(path) != 4 {
+				t.Fatalf("%d->%d path %v, want ep-swA-swB-ep", s, d, path)
+			}
+			// Same-side pairs cross one switch.
+			if s >= 3 && d >= 3 && len(path) != 3 {
+				t.Fatalf("%d->%d path %v, want ep-swB-ep", s, d, path)
+			}
+		}
+	}
+	// At the destination there is no out port.
+	if r.OutPort(tp.EndpointDevice(4), 4) != -1 {
+		t.Fatal("destination endpoint has an out port to itself")
+	}
+}
+
+func TestFatTreeRoutingDelivers(t *testing.T) {
+	f := topo.Config2()
+	r, err := Compute(f.Topology, f.DETTieBreak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := f.NumEndpoints()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			path, err := r.Path(f.Topology, s, d)
+			if err != nil {
+				t.Fatalf("%d->%d: %v", s, d, err)
+			}
+			// Shortest up/down path length: endpoints + 2*(lca
+			// level)+1 switches. Minimum 3 devices, max 2*N+1+... just
+			// sanity-bound it.
+			if len(path) > 2*f.N+2 {
+				t.Fatalf("%d->%d path too long: %v", s, d, path)
+			}
+		}
+	}
+}
+
+// TestFatTreePerDestinationTree verifies the DET property that the
+// whole congestion study rests on: all paths towards one destination
+// form a single tree — once two flows to dest d meet at a device they
+// follow the identical suffix.
+func TestFatTreePerDestinationTree(t *testing.T) {
+	for _, cfg := range []*topo.FatTree{topo.Config2(), topo.Config3()} {
+		r, err := Compute(cfg.Topology, cfg.DETTieBreak)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := cfg.NumEndpoints()
+		for d := 0; d < n; d++ {
+			// Per-destination next hop is a function of the device
+			// only (true by construction of the table); the tree
+			// property additionally needs: following next hops from
+			// every device reaches d without revisiting. Path()
+			// already checks loops; run it from all sources.
+			for s := 0; s < n; s++ {
+				if s == d {
+					continue
+				}
+				if _, err := r.Path(cfg.Topology, s, d); err != nil {
+					t.Fatalf("%s: %v", cfg.Name, err)
+				}
+			}
+		}
+	}
+}
+
+// TestDETUpLinkSpread checks the deterministic up-port rule balances
+// destinations across up links: at a leaf switch of the 4-ary tree the
+// 64 destinations split 16/16/16/16 over the 4 up ports (for
+// destinations outside its subtree).
+func TestDETUpLinkSpread(t *testing.T) {
+	f := topo.Config3()
+	r, err := Compute(f.Topology, f.DETTieBreak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := f.Switches()[0] // a level-0 switch
+	if f.Level(sw) != 0 {
+		t.Fatalf("expected level-0 switch first, got level %d", f.Level(sw))
+	}
+	counts := map[int]int{}
+	for d := 0; d < f.NumEndpoints(); d++ {
+		if f.InSubtree(sw, d) {
+			continue
+		}
+		counts[r.OutPort(sw, d)]++
+	}
+	if len(counts) != f.K {
+		t.Fatalf("up ports used = %v, want %d distinct", counts, f.K)
+	}
+	for p, c := range counts {
+		if c != 15 { // 60 outside-subtree dests over 4 ports
+			t.Fatalf("port %d carries %d destinations, want 15 (%v)", p, c, counts)
+		}
+	}
+}
+
+func TestRandomFatTreesRouteProperty(t *testing.T) {
+	// Property: for random (k,n) in a small range, routing computes and
+	// every pair delivers.
+	f := func(k8, n8 uint8, s16, d16 uint16) bool {
+		k := int(k8%3) + 2 // 2..4
+		n := int(n8%2) + 2 // 2..3
+		ft, err := topo.KaryNTree(k, n, 64, 4)
+		if err != nil {
+			return false
+		}
+		r, err := Compute(ft.Topology, ft.DETTieBreak)
+		if err != nil {
+			return false
+		}
+		ne := ft.NumEndpoints()
+		s := int(s16) % ne
+		d := int(d16) % ne
+		if s == d {
+			return true
+		}
+		_, err = r.Path(ft.Topology, s, d)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoTransitThroughEndpoints(t *testing.T) {
+	tp := topo.Config1()
+	r, err := Compute(tp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 7; s++ {
+		for d := 0; d < 7; d++ {
+			if s == d {
+				continue
+			}
+			path, _ := r.Path(tp, s, d)
+			for _, dev := range path[1 : len(path)-1] {
+				if tp.Devices[dev].Kind == topo.Endpoint {
+					t.Fatalf("%d->%d transits endpoint device %d: %v", s, d, dev, path)
+				}
+			}
+		}
+	}
+}
+
+func TestBadTieBreakRejected(t *testing.T) {
+	tp := topo.Config1()
+	_, err := Compute(tp, func(dev, dest int, c []int) int { return 99 })
+	if err == nil {
+		t.Fatal("tie-break returning junk accepted")
+	}
+}
+
+func TestLeafSpineRouting(t *testing.T) {
+	tp, err := topo.LeafSpine(4, 4, 2, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Compute(tp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne := tp.NumEndpoints()
+	spineUse := map[int]int{}
+	for s := 0; s < ne; s++ {
+		for d := 0; d < ne; d++ {
+			if s == d {
+				continue
+			}
+			path, err := r.Path(tp, s, d)
+			if err != nil {
+				t.Fatalf("%d->%d: %v", s, d, err)
+			}
+			switch {
+			case s/4 == d/4: // same leaf: ep-leaf-ep
+				if len(path) != 3 {
+					t.Fatalf("intra-leaf %d->%d path %v", s, d, path)
+				}
+			default: // ep-leaf-spine-leaf-ep
+				if len(path) != 5 {
+					t.Fatalf("cross-leaf %d->%d path %v", s, d, path)
+				}
+				spineUse[path[2]]++
+			}
+		}
+	}
+	// The deterministic tie-break must use both spines.
+	if len(spineUse) != 2 {
+		t.Fatalf("spine usage %v, want both spines carrying traffic", spineUse)
+	}
+}
+
+func TestLeafSpinePerDestinationTree(t *testing.T) {
+	// All traffic to one destination crosses the same spine
+	// (deterministic per-destination routing, as congestion
+	// management requires).
+	tp, err := topo.LeafSpine(4, 4, 2, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Compute(tp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < tp.NumEndpoints(); d++ {
+		spine := -1
+		for s := 0; s < tp.NumEndpoints(); s++ {
+			if s == d || s/4 == d/4 {
+				continue
+			}
+			path, _ := r.Path(tp, s, d)
+			if spine == -1 {
+				spine = path[2]
+			} else if path[2] != spine {
+				t.Fatalf("dest %d reached via spines %d and %d", d, spine, path[2])
+			}
+		}
+	}
+}

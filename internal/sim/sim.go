@@ -1,0 +1,175 @@
+// Package sim provides the cycle-level simulation engine used by every
+// other component of the CCFIT reproduction: a deterministic clock, an
+// event heap for scheduled callbacks, phased per-cycle ticking, and
+// seeded random-number streams.
+//
+// One cycle is the time needed to move one flit (FlitBytes bytes) across
+// a baseline 2.5 GB/s link, i.e. 25.6 ns. All latencies, bandwidths and
+// timeouts in the simulator are expressed in cycles; helpers convert
+// from wall-clock units.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Cycle is a point in simulated time (or a duration), measured in cycles.
+type Cycle int64
+
+// FlitBytes is the number of bytes moved per cycle by a baseline link.
+const FlitBytes = 64
+
+// BaseLinkBytesPerSec is the bandwidth of a baseline 2.5 GB/s link.
+const BaseLinkBytesPerSec = 2.5e9
+
+// CycleNS is the wall-clock duration of one cycle in nanoseconds.
+const CycleNS = FlitBytes / BaseLinkBytesPerSec * 1e9 // 25.6 ns
+
+// CyclesFromNS converts a duration in nanoseconds to cycles (rounded).
+func CyclesFromNS(ns float64) Cycle {
+	return Cycle(math.Round(ns / CycleNS))
+}
+
+// CyclesFromMS converts a duration in milliseconds to cycles (rounded).
+func CyclesFromMS(ms float64) Cycle {
+	return CyclesFromNS(ms * 1e6)
+}
+
+// NSFromCycles converts a cycle count to nanoseconds.
+func NSFromCycles(c Cycle) float64 {
+	return float64(c) * CycleNS
+}
+
+// MSFromCycles converts a cycle count to milliseconds.
+func MSFromCycles(c Cycle) float64 {
+	return NSFromCycles(c) / 1e6
+}
+
+// Phase identifies one of the fixed per-cycle execution phases. Events
+// scheduled with At/After always fire before PhaseInject of their cycle,
+// so arrivals and control messages are visible to the same-cycle logic.
+type Phase int
+
+const (
+	// PhaseInject runs traffic generation and source-side admission.
+	PhaseInject Phase = iota
+	// PhasePost runs queue post-processing, congestion detection and
+	// CAM maintenance at every port.
+	PhasePost
+	// PhaseArbitrate runs crossbar/injection arbitration and starts
+	// packet transfers.
+	PhaseArbitrate
+	// PhaseUpdate runs threshold re-evaluation, resource deallocation
+	// and metrics sampling.
+	PhaseUpdate
+
+	numPhases
+)
+
+type event struct {
+	at  Cycle
+	seq uint64 // tie-break: FIFO among same-cycle events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine drives the simulation. It is not safe for concurrent use; the
+// whole simulator is single-goroutine by design so that runs are exactly
+// reproducible from a seed.
+type Engine struct {
+	now    Cycle
+	events eventHeap
+	seq    uint64
+	phases [numPhases][]func(Cycle)
+	seed   int64
+	rngSeq int64
+}
+
+// NewEngine returns an engine whose random streams derive from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{seed: seed}
+}
+
+// Now returns the current cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Seed returns the master seed the engine was created with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// RNG returns a new deterministic random stream derived from the master
+// seed. Each component should take its own stream at build time so that
+// adding a component does not perturb the draws seen by others.
+func (e *Engine) RNG() *rand.Rand {
+	e.rngSeq++
+	return rand.New(rand.NewSource(e.seed*1_000_003 + e.rngSeq))
+}
+
+// At schedules fn to run at cycle c (before the phases of that cycle).
+// Scheduling in the past panics: it would silently corrupt causality.
+func (e *Engine) At(c Cycle, fn func()) {
+	if c < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at cycle %d in the past (now %d)", c, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: c, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Cycle, fn func()) { e.At(e.now+d, fn) }
+
+// Register adds a per-cycle callback for the given phase. Callbacks run
+// every cycle in registration order.
+func (e *Engine) Register(p Phase, fn func(Cycle)) {
+	if p < 0 || p >= numPhases {
+		panic(fmt.Sprintf("sim: invalid phase %d", p))
+	}
+	e.phases[p] = append(e.phases[p], fn)
+}
+
+// Step advances the simulation by exactly one cycle.
+func (e *Engine) Step() {
+	for len(e.events) > 0 && e.events[0].at <= e.now {
+		ev := heap.Pop(&e.events).(event)
+		ev.fn()
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		for _, fn := range e.phases[p] {
+			fn(e.now)
+		}
+	}
+	e.now++
+}
+
+// Run advances the simulation until (and excluding) cycle `until`.
+func (e *Engine) Run(until Cycle) {
+	for e.now < until {
+		e.Step()
+	}
+}
+
+// RunFor advances the simulation by d cycles.
+func (e *Engine) RunFor(d Cycle) { e.Run(e.now + d) }
+
+// Pending reports how many scheduled events have not fired yet.
+func (e *Engine) Pending() int { return len(e.events) }

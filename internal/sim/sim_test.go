@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnitsRoundTrip(t *testing.T) {
+	if CycleNS != 25.6 {
+		t.Fatalf("CycleNS = %v, want 25.6", CycleNS)
+	}
+	if got := CyclesFromNS(25.6); got != 1 {
+		t.Fatalf("CyclesFromNS(25.6) = %d, want 1", got)
+	}
+	if got := CyclesFromMS(1); got != 39063 { // round(1e6/25.6)
+		t.Fatalf("CyclesFromMS(1) = %d, want 39063", got)
+	}
+	if got := NSFromCycles(10); got != 256 {
+		t.Fatalf("NSFromCycles(10) = %v, want 256", got)
+	}
+	if got := MSFromCycles(39063); math.Abs(got-1.0) > 1e-4 {
+		t.Fatalf("MSFromCycles(39063) = %v, want ~1.0", got)
+	}
+}
+
+func TestCyclesFromNSRoundTripProperty(t *testing.T) {
+	// Converting n cycles to ns and back must be the identity.
+	f := func(n uint16) bool {
+		c := Cycle(n)
+		return CyclesFromNS(NSFromCycles(c)) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.At(5, func() { got = append(got, 2) })
+	e.At(3, func() { got = append(got, 1) })
+	e.At(5, func() { got = append(got, 3) }) // same cycle: FIFO
+	e.At(0, func() { got = append(got, 0) })
+	e.Run(10)
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order %v, want %v", got, want)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventsFireBeforePhases(t *testing.T) {
+	e := NewEngine(1)
+	var trace []string
+	e.Register(PhaseInject, func(now Cycle) {
+		if now == 4 {
+			trace = append(trace, "phase")
+		}
+	})
+	e.At(4, func() { trace = append(trace, "event") })
+	e.Run(6)
+	if len(trace) != 2 || trace[0] != "event" || trace[1] != "phase" {
+		t.Fatalf("trace = %v, want [event phase]", trace)
+	}
+}
+
+func TestPhaseOrderWithinCycle(t *testing.T) {
+	e := NewEngine(1)
+	var trace []Phase
+	for _, p := range []Phase{PhaseUpdate, PhaseInject, PhaseArbitrate, PhasePost} {
+		p := p
+		e.Register(p, func(now Cycle) {
+			if now == 0 {
+				trace = append(trace, p)
+			}
+		})
+	}
+	e.Step()
+	want := []Phase{PhaseInject, PhasePost, PhaseArbitrate, PhaseUpdate}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("phase order %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine(1)
+	fired := Cycle(-1)
+	e.Run(7)
+	e.After(3, func() { fired = e.Now() })
+	e.Run(20)
+	if fired != 10 {
+		t.Fatalf("After(3) from cycle 7 fired at %d, want 10", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Run(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(2, func() {})
+}
+
+func TestEventCascade(t *testing.T) {
+	// An event scheduled for the current cycle from within an event
+	// still fires in the same cycle.
+	e := NewEngine(1)
+	var hits []Cycle
+	e.At(3, func() {
+		e.At(3, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run(5)
+	if len(hits) != 1 || hits[0] != 3 {
+		t.Fatalf("cascade hits = %v, want [3]", hits)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewEngine(42)
+	b := NewEngine(42)
+	ra, rb := a.RNG(), b.RNG()
+	for i := 0; i < 100; i++ {
+		if ra.Int63() != rb.Int63() {
+			t.Fatal("same seed engines produced different streams")
+		}
+	}
+	// Distinct streams from the same engine must differ.
+	r2 := a.RNG()
+	same := true
+	for i := 0; i < 16; i++ {
+		if ra.Int63() != r2.Int63() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two streams from one engine are identical")
+	}
+}
+
+func TestRunForAdvances(t *testing.T) {
+	e := NewEngine(1)
+	e.RunFor(10)
+	if e.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", e.Now())
+	}
+	e.RunFor(5)
+	if e.Now() != 15 {
+		t.Fatalf("Now = %d, want 15", e.Now())
+	}
+}
+
+func TestRegisterInvalidPhasePanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid phase did not panic")
+		}
+	}()
+	e.Register(Phase(99), func(Cycle) {})
+}
+
+func BenchmarkEngineIdleCycles(b *testing.B) {
+	e := NewEngine(1)
+	e.Register(PhasePost, func(Cycle) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

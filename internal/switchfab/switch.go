@@ -1,0 +1,357 @@
+// Package switchfab implements the input-queued switch of the paper's
+// simulation model (Table I): per-input-port RAM organised by a
+// pluggable queue discipline (1Q, VOQsw, VOQnet, DBBM or the
+// FBICM/CCFIT NFQ+CFQ isolation unit), an iSLIP-scheduled crossbar,
+// virtual cut-through forwarding with credit-based flow control, output
+// CAMs for congestion-information propagation, and FECN marking at
+// output ports in the congestion state.
+package switchfab
+
+import (
+	"fmt"
+
+	"repro/internal/arbiter"
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// Stats aggregates switch-level counters for the evaluation.
+type Stats struct {
+	Forwarded      int
+	ForwardedBytes int
+	Marked         int
+	CreditStalls   int // arbitration requests suppressed by missing credits
+}
+
+// Switch is one input-queued switch.
+type Switch struct {
+	eng    *sim.Engine
+	p      *core.Params
+	id     int
+	name   string
+	nports int
+	xbar   int // crossbar bytes/cycle per port
+	route  func(dest int) int
+	// lookahead maps (local output port, dest) to the output port the
+	// packet will request at the neighbor (OBQA queue assignment).
+	lookahead func(out, dest int) int
+
+	in    []*inPort
+	out   []*outPort
+	islip *arbiter.ISlip
+	stats Stats
+
+	// per-cycle scratch: candidate request per (input, output)
+	cand [][]core.Request
+	has  [][]bool
+}
+
+type inPort struct {
+	s         *Switch
+	idx       int
+	disc      core.QDisc
+	busyUntil sim.Cycle
+	rr        *arbiter.RoundRobin // among this port's queues for one output
+	reqs      []core.Request      // per-cycle scratch
+}
+
+type outPort struct {
+	s       *Switch
+	idx     int
+	tx      *link.Half // nil when the port is unconnected
+	credits *core.CreditPool
+	cam     *core.OutCAM
+	mark    *core.MarkState
+	// Output stage: a small buffer decoupling the crossbar (which can
+	// run faster than the link, Table I: 5 GB/s crossbar over 2.5 GB/s
+	// links in Config #1) from link serialization. inflight counts
+	// crossbar transfers that have started but not yet landed here.
+	stage    []staged
+	inflight int
+}
+
+type staged struct {
+	p   *pkt.Packet
+	cfq int
+}
+
+// stageCap bounds staged + in-flight packets per output port.
+const stageCap = 2
+
+// New builds a switch with nports bidirectional ports. routeFn maps a
+// destination endpoint to the local output port. numEndpoints sizes
+// VOQnet disciplines. xbarBPC is the crossbar bandwidth in bytes/cycle
+// per port (Table I "Crossbar BW"); it bounds how fast a packet moves
+// from an input queue to an output stage and therefore how much
+// aggregate traffic one input port can forward.
+func New(eng *sim.Engine, id int, name string, nports int, p *core.Params, routeFn func(int) int, numEndpoints, xbarBPC int) *Switch {
+	if nports <= 0 {
+		panic("switchfab: switch needs ports")
+	}
+	if xbarBPC <= 0 {
+		panic("switchfab: crossbar bandwidth must be positive")
+	}
+	s := &Switch{
+		eng:    eng,
+		p:      p,
+		id:     id,
+		name:   name,
+		nports: nports,
+		xbar:   xbarBPC,
+		route:  routeFn,
+		islip:  arbiter.NewISlip(nports, nports, p.ISlipIters),
+	}
+	s.in = make([]*inPort, nports)
+	s.out = make([]*outPort, nports)
+	for i := 0; i < nports; i++ {
+		ip := &inPort{s: s, idx: i}
+		ip.disc = core.NewQDisc(p, portEnv{s: s, port: i}, nports, numEndpoints)
+		ip.rr = arbiter.NewRoundRobin(ip.disc.QueueCount())
+		if iso, ok := ip.disc.(*core.IsolationUnit); ok {
+			iso.SetTraceLabel(fmt.Sprintf("%s:p%d", name, i))
+		}
+		s.in[i] = ip
+		s.out[i] = &outPort{
+			s:    s,
+			idx:  i,
+			cam:  core.NewOutCAM(p.NumCFQs),
+			mark: core.NewMarkState(p, eng.RNG(), eng, fmt.Sprintf("%s:p%d", name, i)),
+		}
+	}
+	s.cand = make([][]core.Request, nports)
+	s.has = make([][]bool, nports)
+	for i := range s.cand {
+		s.cand[i] = make([]core.Request, nports)
+		s.has[i] = make([]bool, nports)
+	}
+	eng.Register(sim.PhasePost, s.post)
+	eng.Register(sim.PhaseArbitrate, s.arbitrate)
+	eng.Register(sim.PhaseUpdate, s.update)
+	return s
+}
+
+// ID returns the switch's device id.
+func (s *Switch) ID() int { return s.id }
+
+// Name returns the diagnostic name.
+func (s *Switch) Name() string { return s.name }
+
+// Stats returns the switch counters.
+func (s *Switch) Stats() *Stats { return &s.stats }
+
+// InputDisc exposes port i's queue discipline (diagnostics, tests).
+func (s *Switch) InputDisc(i int) core.QDisc { return s.in[i].disc }
+
+// OutCAM exposes port i's output CAM (diagnostics, tests).
+func (s *Switch) OutCAM(i int) *core.OutCAM { return s.out[i].cam }
+
+// MarkState exposes port i's congestion/marking state (diagnostics).
+func (s *Switch) MarkState(i int) *core.MarkState { return s.out[i].mark }
+
+// Credits returns output port i's credit balance toward dest (tests).
+func (s *Switch) Credits(i, dest int) int { return s.out[i].credits.Avail(dest) }
+
+// AttachLink wires port i: tx is the transmit direction toward the
+// neighbor, credits the pool mirroring the neighbor's receive buffers.
+func (s *Switch) AttachLink(i int, tx *link.Half, credits *core.CreditPool) {
+	if s.out[i].tx != nil {
+		panic(fmt.Sprintf("switchfab: %s port %d already attached", s.name, i))
+	}
+	s.out[i].tx = tx
+	s.out[i].credits = credits
+}
+
+// SetLookahead installs the next-hop routing oracle used by the OBQA
+// discipline. Must be called before traffic arrives; without it OBQA
+// degenerates to a single queue.
+func (s *Switch) SetLookahead(fn func(out, dest int) int) { s.lookahead = fn }
+
+// PacketReceiver returns the sink for packets arriving at port i.
+func (s *Switch) PacketReceiver(i int) link.PacketReceiver { return s.in[i] }
+
+// ControlReceiver returns the sink for control arriving at port i.
+func (s *Switch) ControlReceiver(i int) link.ControlReceiver { return s.out[i] }
+
+// post runs the per-port post-processing phase.
+func (s *Switch) post(now sim.Cycle) {
+	for _, ip := range s.in {
+		ip.disc.Post(now)
+	}
+}
+
+// update runs the per-port housekeeping phase.
+func (s *Switch) update(now sim.Cycle) {
+	for _, ip := range s.in {
+		ip.disc.Update(now)
+	}
+}
+
+// arbitrate drains output stages onto their links, then collects
+// eligible requests, runs iSLIP, and starts the granted crossbar
+// transfers.
+func (s *Switch) arbitrate(now sim.Cycle) {
+	for _, op := range s.out {
+		op.drain(now)
+	}
+	anyReq := false
+	for i, ip := range s.in {
+		for o := range s.has[i] {
+			s.has[i][o] = false
+		}
+		if ip.busyUntil > now || ip.disc.UsedBytes() == 0 {
+			continue
+		}
+		ip.reqs = ip.reqs[:0]
+		ip.disc.Requests(now, func(r core.Request) { ip.reqs = append(ip.reqs, r) })
+		for _, r := range ip.reqs {
+			op := s.out[r.Out]
+			if op.tx == nil || len(op.stage)+op.inflight >= stageCap {
+				continue
+			}
+			if op.credits.Avail(r.Pkt.Dst) < r.Pkt.Size {
+				s.stats.CreditStalls++
+				continue
+			}
+			// Keep the strongest candidate per (input, output):
+			// priority first, then this input's queue round-robin.
+			if !s.has[i][r.Out] || s.better(ip, r, s.cand[i][r.Out]) {
+				s.cand[i][r.Out] = r
+				s.has[i][r.Out] = true
+			}
+			anyReq = true
+		}
+	}
+	if !anyReq {
+		return
+	}
+	match := s.islip.Match(
+		func(i, o int) bool { return s.has[i][o] },
+		func(i, o int) bool { return s.has[i][o] && s.cand[i][o].Priority },
+	)
+	for i, o := range match {
+		if o == -1 {
+			continue
+		}
+		s.start(now, s.in[i], s.out[o], s.cand[i][o])
+	}
+	// A transfer completing this cycle may have landed in an idle
+	// stage; push it out without waiting a cycle.
+	for _, op := range s.out {
+		op.drain(now)
+	}
+}
+
+// drain puts the next staged packet on the wire if the link is idle.
+func (op *outPort) drain(now sim.Cycle) {
+	if op.tx == nil || len(op.stage) == 0 || !op.tx.Free(now) {
+		return
+	}
+	st := op.stage[0]
+	copy(op.stage, op.stage[1:])
+	op.stage = op.stage[:len(op.stage)-1]
+	op.tx.Send(now, st.p, st.cfq)
+}
+
+// better reports whether request a should replace b as input ip's
+// candidate for one output: priority first, then the port's queue
+// round-robin order (fairness between the NFQ and CFQs sharing an
+// output, without advancing the pointer until a queue is served).
+func (s *Switch) better(ip *inPort, a, b core.Request) bool {
+	if a.Priority != b.Priority {
+		return a.Priority
+	}
+	return ip.rr.Closer(a.QID, b.QID)
+}
+
+// start launches one granted crossbar transfer: the packet leaves the
+// input queue, crosses the crossbar in size/xbar cycles, and lands in
+// the output stage for link serialization.
+func (s *Switch) start(now sim.Cycle, ip *inPort, op *outPort, r core.Request) {
+	p := ip.disc.Pop(r.QID)
+	if p != r.Pkt {
+		panic(fmt.Sprintf("switchfab: %s popped %v, granted %v", s.name, p, r.Pkt))
+	}
+	ip.rr.Served(r.QID)
+	op.credits.Take(p.Dst, p.Size)
+	if op.mark.MaybeMark(p) {
+		s.stats.Marked++
+	}
+	xfer := sim.Cycle((p.Size + s.xbar - 1) / s.xbar)
+	ip.busyUntil = now + xfer
+	op.inflight++
+	cfq := r.DirectCFQ
+	s.eng.At(now+xfer, func() {
+		op.inflight--
+		op.stage = append(op.stage, staged{p: p, cfq: cfq})
+	})
+	s.stats.Forwarded++
+	s.stats.ForwardedBytes += p.Size
+	// The packet left this input port's RAM: return credit upstream.
+	// Port ip.idx's transmit half reaches the upstream neighbor.
+	if up := s.out[ip.idx].tx; up != nil {
+		up.SendControl(now, link.Control{Kind: link.Credit, Bytes: p.Size, Dest: p.Dst})
+	}
+}
+
+// ReceivePacket implements link.PacketReceiver for an input port.
+func (ip *inPort) ReceivePacket(p *pkt.Packet, cfq int) {
+	ip.disc.Enqueue(p, cfq)
+}
+
+// ReceiveControl implements link.ControlReceiver for an output port:
+// credits and the downstream CFQ protocol.
+func (op *outPort) ReceiveControl(m link.Control) {
+	if m.Kind == link.Credit {
+		op.credits.Give(m.Dest, m.Bytes)
+		return
+	}
+	op.cam.Handle(m)
+	if m.Kind == link.CFQAlloc {
+		// The congested point is now known to be at least one hop
+		// below: input CFQs feeding this output stop being tree roots.
+		for _, ip := range op.s.in {
+			if iso, ok := ip.disc.(*core.IsolationUnit); ok {
+				iso.DemoteRoot(op.idx, m.Dests)
+			}
+		}
+	}
+}
+
+// portEnv adapts a switch port to core.PortEnv.
+type portEnv struct {
+	s    *Switch
+	port int
+}
+
+func (e portEnv) Route(dest int) int { return e.s.route(dest) }
+
+func (e portEnv) OutLine(out, dest int) (bool, int, bool) {
+	return e.s.out[out].cam.Lookup(dest)
+}
+
+func (e portEnv) OutCredits(out, dest int) int {
+	op := e.s.out[out]
+	if op.tx == nil {
+		return 0
+	}
+	return op.credits.Avail(dest)
+}
+
+func (e portEnv) NotifyUpstream(m link.Control) {
+	if tx := e.s.out[e.port].tx; tx != nil {
+		tx.SendControl(e.s.eng.Now(), m)
+	}
+}
+
+func (e portEnv) MarkCrossed(out int, above bool) {
+	e.s.out[out].mark.Crossed(above)
+}
+
+func (e portEnv) Lookahead(out, dest int) int {
+	if e.s.lookahead == nil {
+		return 0
+	}
+	return e.s.lookahead(out, dest)
+}

@@ -1,0 +1,51 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// LeafSpine builds a two-level Clos ("leaf-spine") network: `leaves`
+// leaf switches with `down` endpoints each, every leaf wired to every
+// one of `spines` spine switches with one link. The oversubscription
+// ratio is down:spines — with fewer spines than down-ports the fabric
+// is deliberately under-provisioned, the usual way modern clusters
+// trade bisection bandwidth for cost, and a natural stress case for
+// congestion management beyond the paper's full-bisection k-ary
+// n-trees.
+//
+// Endpoints are numbered leaf-major: leaf L hosts endpoints
+// L*down .. L*down+down-1. All links share bytesPerCycle and delay.
+func LeafSpine(leaves, down, spines, bytesPerCycle int, delay sim.Cycle) (*Topology, error) {
+	if leaves < 2 || down < 1 || spines < 1 {
+		return nil, fmt.Errorf("topo: leaf-spine needs >=2 leaves, >=1 down, >=1 spine (got %d/%d/%d)", leaves, down, spines)
+	}
+	b := NewBuilder(fmt.Sprintf("leaf-spine %dx%d over %d spines", leaves, down, spines))
+	b.SetDefaultLink(bytesPerCycle, delay)
+
+	for e := 0; e < leaves*down; e++ {
+		b.AddEndpoint(fmt.Sprintf("node%d", e))
+	}
+	leafIDs := make([]int, leaves)
+	for l := 0; l < leaves; l++ {
+		leafIDs[l] = b.AddSwitch(fmt.Sprintf("leaf%d", l), down+spines)
+	}
+	spineIDs := make([]int, spines)
+	for s := 0; s < spines; s++ {
+		spineIDs[s] = b.AddSwitch(fmt.Sprintf("spine%d", s), leaves)
+	}
+	// Endpoint links: leaf L port j <-> endpoint L*down+j.
+	for l := 0; l < leaves; l++ {
+		for j := 0; j < down; j++ {
+			b.Connect(l*down+j, 0, leafIDs[l], j)
+		}
+	}
+	// Fabric links: leaf L port down+s <-> spine s port L.
+	for l := 0; l < leaves; l++ {
+		for s := 0; s < spines; s++ {
+			b.Connect(leafIDs[l], down+s, spineIDs[s], l)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,53 @@
+package topo
+
+import "testing"
+
+func TestLeafSpineShape(t *testing.T) {
+	tp, err := LeafSpine(4, 4, 2, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumEndpoints() != 16 {
+		t.Fatalf("endpoints %d, want 16", tp.NumEndpoints())
+	}
+	if got := len(tp.Switches()); got != 6 {
+		t.Fatalf("switches %d, want 4 leaves + 2 spines", got)
+	}
+	// Every leaf reaches every spine exactly once.
+	leafStart := 16
+	for l := 0; l < 4; l++ {
+		leaf := tp.Devices[leafStart+l]
+		up := 0
+		for _, c := range leaf.Ports {
+			if c.Peer >= 0 && tp.Devices[c.Peer].Kind == Switch {
+				up++
+			}
+		}
+		if up != 2 {
+			t.Fatalf("leaf %d has %d fabric links, want 2", l, up)
+		}
+	}
+	// Endpoint placement is leaf-major.
+	if tp.Devices[5].Ports[0].Peer != leafStart+1 {
+		t.Fatalf("endpoint 5 attached to device %d, want leaf 1", tp.Devices[5].Ports[0].Peer)
+	}
+}
+
+func TestLeafSpineValidation(t *testing.T) {
+	for _, args := range [][3]int{{1, 4, 2}, {4, 0, 2}, {4, 4, 0}} {
+		if _, err := LeafSpine(args[0], args[1], args[2], 64, 4); err == nil {
+			t.Fatalf("accepted %v", args)
+		}
+	}
+}
+
+func TestLeafSpineOversubscriptionWiring(t *testing.T) {
+	// A non-oversubscribed 2x2 over 2 spines must validate too.
+	tp, err := LeafSpine(2, 2, 2, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package trace provides ready-made implementations of core.Tracer for
+// observing the congestion-management protocol: a bounded ring buffer
+// for post-mortem inspection, a line writer for live logs, a per-kind
+// counter, plus filtering and fan-out combinators. Attach one via
+// Params.Tracer before building a network.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Ring keeps the most recent capacity events.
+type Ring struct {
+	events []core.Event
+	next   int
+	filled bool
+	total  int
+}
+
+// NewRing returns a ring tracer holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("trace: ring capacity must be positive")
+	}
+	return &Ring{events: make([]core.Event, capacity)}
+}
+
+// Trace implements core.Tracer.
+func (r *Ring) Trace(ev core.Event) {
+	r.events[r.next] = ev
+	r.next++
+	r.total++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.filled = true
+	}
+}
+
+// Total returns how many events were traced (including evicted ones).
+func (r *Ring) Total() int { return r.total }
+
+// Events returns the retained events in arrival order.
+func (r *Ring) Events() []core.Event {
+	if !r.filled {
+		return append([]core.Event(nil), r.events[:r.next]...)
+	}
+	out := make([]core.Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Writer emits one formatted line per event.
+type Writer struct {
+	w io.Writer
+}
+
+// NewWriter returns a tracer printing to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Trace implements core.Tracer.
+func (t *Writer) Trace(ev core.Event) {
+	fmt.Fprintln(t.w, Format(ev))
+}
+
+// Format renders an event as a human-readable line.
+func Format(ev core.Event) string {
+	switch ev.Kind {
+	case core.EvCongestionOn, core.EvCongestionOff:
+		return fmt.Sprintf("%9.3fms %-14s %s", sim.MSFromCycles(ev.At), ev.Kind, ev.Where)
+	case core.EvBECN:
+		return fmt.Sprintf("%9.3fms %-14s %s dest=%d ccti=%d", sim.MSFromCycles(ev.At), ev.Kind, ev.Where, ev.Dest, ev.Arg)
+	case core.EvMark:
+		return fmt.Sprintf("%9.3fms %-14s %s dest=%d pkt=%d", sim.MSFromCycles(ev.At), ev.Kind, ev.Where, ev.Dest, ev.Arg)
+	case core.EvExhaust:
+		return fmt.Sprintf("%9.3fms %-14s %s dest=%d", sim.MSFromCycles(ev.At), ev.Kind, ev.Where, ev.Dest)
+	default:
+		return fmt.Sprintf("%9.3fms %-14s %s dest=%d cfq=%d", sim.MSFromCycles(ev.At), ev.Kind, ev.Where, ev.Dest, ev.Arg)
+	}
+}
+
+// Counter tallies events per kind.
+type Counter struct {
+	counts map[core.EventKind]int
+}
+
+// NewCounter returns a counting tracer.
+func NewCounter() *Counter { return &Counter{counts: map[core.EventKind]int{}} }
+
+// Trace implements core.Tracer.
+func (c *Counter) Trace(ev core.Event) { c.counts[ev.Kind]++ }
+
+// Count returns the tally for one kind.
+func (c *Counter) Count(k core.EventKind) int { return c.counts[k] }
+
+// Filter forwards only events accepted by the predicate.
+type Filter struct {
+	next core.Tracer
+	keep func(core.Event) bool
+}
+
+// NewFilter wraps next with a predicate.
+func NewFilter(next core.Tracer, keep func(core.Event) bool) *Filter {
+	if next == nil || keep == nil {
+		panic("trace: filter needs a tracer and a predicate")
+	}
+	return &Filter{next: next, keep: keep}
+}
+
+// Kinds builds a predicate accepting only the listed kinds.
+func Kinds(kinds ...core.EventKind) func(core.Event) bool {
+	set := map[core.EventKind]bool{}
+	for _, k := range kinds {
+		set[k] = true
+	}
+	return func(ev core.Event) bool { return set[ev.Kind] }
+}
+
+// Trace implements core.Tracer.
+func (f *Filter) Trace(ev core.Event) {
+	if f.keep(ev) {
+		f.next.Trace(ev)
+	}
+}
+
+// Multi fans one event stream out to several tracers.
+type Multi struct {
+	tracers []core.Tracer
+}
+
+// NewMulti combines tracers.
+func NewMulti(tracers ...core.Tracer) *Multi { return &Multi{tracers: tracers} }
+
+// Trace implements core.Tracer.
+func (m *Multi) Trace(ev core.Event) {
+	for _, t := range m.tracers {
+		t.Trace(ev)
+	}
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+func ev(at sim.Cycle, k core.EventKind, dest int) core.Event {
+	return core.Event{At: at, Kind: k, Where: "sw:p0", Dest: dest, Arg: 0}
+}
+
+func TestRingRetention(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Trace(ev(sim.Cycle(i), core.EvDetect, i))
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total %d", r.Total())
+	}
+	got := r.Events()
+	if len(got) != 3 {
+		t.Fatalf("retained %d", len(got))
+	}
+	for i, e := range got {
+		if e.Dest != i+2 {
+			t.Fatalf("events %v: eviction order wrong", got)
+		}
+	}
+	// Partially filled ring.
+	r2 := NewRing(10)
+	r2.Trace(ev(0, core.EvStop, 1))
+	if len(r2.Events()) != 1 {
+		t.Fatal("partial ring wrong")
+	}
+}
+
+func TestRingCapacityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestWriterFormats(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Trace(ev(39063, core.EvDetect, 4)) // ~1 ms
+	w.Trace(core.Event{At: 0, Kind: core.EvBECN, Where: "node3", Dest: 4, Arg: 7})
+	w.Trace(core.Event{At: 0, Kind: core.EvCongestionOn, Where: "sw:p1"})
+	out := buf.String()
+	for _, want := range []string{"detect", "1.000ms", "becn", "ccti=7", "congestion-on"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterAndFilter(t *testing.T) {
+	c := NewCounter()
+	f := NewFilter(c, Kinds(core.EvStop, core.EvGo))
+	f.Trace(ev(0, core.EvStop, 1))
+	f.Trace(ev(0, core.EvGo, 1))
+	f.Trace(ev(0, core.EvDetect, 1)) // filtered out
+	if c.Count(core.EvStop) != 1 || c.Count(core.EvGo) != 1 || c.Count(core.EvDetect) != 0 {
+		t.Fatal("filter/counter broken")
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := NewCounter(), NewCounter()
+	m := NewMulti(a, b)
+	m.Trace(ev(0, core.EvMark, 2))
+	if a.Count(core.EvMark) != 1 || b.Count(core.EvMark) != 1 {
+		t.Fatal("fan-out broken")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	names := map[core.EventKind]string{
+		core.EvDetect: "detect", core.EvLazyAlloc: "lazy-alloc",
+		core.EvPropagate: "propagate", core.EvStop: "stop", core.EvGo: "go",
+		core.EvDealloc: "dealloc", core.EvDemote: "demote",
+		core.EvCongestionOn: "congestion-on", core.EvCongestionOff: "congestion-off",
+		core.EvMark: "mark", core.EvBECN: "becn", core.EvExhaust: "exhaust",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if core.EventKind(99).String() != "event(?)" {
+		t.Fatal("unknown kind")
+	}
+}
+
+// TestEndToEndTrace runs a hot spot under CCFIT with a tracer attached
+// and checks the protocol appears in the right order: detection before
+// propagation before stop, marking only during the congestion state,
+// BECNs after marks, deallocation after the traffic stops.
+func TestEndToEndTrace(t *testing.T) {
+	ring := NewRing(4096)
+	counter := NewCounter()
+	p := core.PresetCCFIT()
+	p.Tracer = NewMulti(ring, counter)
+	n, err := network.Build(topo.Config1(), p, network.Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = n.AddFlows([]traffic.Flow{
+		{ID: 1, Src: 1, Dst: 4, Start: 0, End: 60_000, Rate: 1.0},
+		{ID: 2, Src: 2, Dst: 4, Start: 0, End: 60_000, Rate: 1.0},
+		{ID: 5, Src: 5, Dst: 4, Start: 0, End: 60_000, Rate: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(200_000)
+
+	for _, k := range []core.EventKind{
+		core.EvDetect, core.EvPropagate, core.EvStop, core.EvGo,
+		core.EvCongestionOn, core.EvCongestionOff, core.EvMark,
+		core.EvBECN, core.EvDealloc,
+	} {
+		if counter.Count(k) == 0 {
+			t.Fatalf("no %v events in a congested CCFIT run", k)
+		}
+	}
+	// Ordering of firsts.
+	first := map[core.EventKind]sim.Cycle{}
+	for _, e := range ring.Events() {
+		if _, ok := first[e.Kind]; !ok {
+			first[e.Kind] = e.At
+		}
+	}
+	if !(first[core.EvDetect] <= first[core.EvPropagate]) {
+		t.Fatal("propagation before any detection")
+	}
+	if !(first[core.EvCongestionOn] <= first[core.EvMark]) {
+		t.Fatal("mark before entering the congestion state")
+	}
+	if !(first[core.EvMark] < first[core.EvBECN]) {
+		t.Fatal("BECN before any mark")
+	}
+	// Every mark names the hot destination.
+	for _, e := range ring.Events() {
+		if e.Kind == core.EvMark && e.Dest != 4 {
+			t.Fatalf("marked a non-hot destination: %+v", e)
+		}
+		if e.Kind == core.EvBECN && e.Dest != 4 {
+			t.Fatalf("BECN for a non-hot destination: %+v", e)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package traffic generates the offered load: constant-bit-rate flows
+// with activation windows (the sequentially activated flows of Cases
+// #1 and #2), uniform random traffic (Cases #3 and #4), and hot-spot
+// bursts (Case #4). Sources are rate-shaped with a per-flow byte
+// accumulator and stall (without accumulating debt) when their AdVOQ
+// backs up — the lossless-source model the paper's "injection at 100%
+// of the link bandwidth" implies.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/endnode"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// UniformDst marks a flow that picks a fresh random destination
+// (excluding the source) for every packet.
+const UniformDst = -1
+
+// Flow describes one traffic source.
+type Flow struct {
+	ID  int
+	Src int
+	// Dst is a fixed destination endpoint, or UniformDst.
+	Dst int
+	// Start and End bound the activation window [Start, End).
+	Start, End sim.Cycle
+	// Rate is the offered load as a fraction of the source's injection
+	// link bandwidth (1.0 = the paper's "100% of the link bandwidth").
+	Rate float64
+	// PktSize is the packet size in bytes (default MTU if zero).
+	PktSize int
+}
+
+// InjectHook observes every successful injection (metrics wiring).
+type InjectHook func(p *pkt.Packet)
+
+// Generator drives all flows of one simulation.
+type Generator struct {
+	eng   *sim.Engine
+	nodes []*endnode.Node
+	ids   *pkt.IDGen
+	bpc   []int // injection-link bytes/cycle per source node
+	hook  InjectHook
+
+	flows []flowState
+}
+
+type flowState struct {
+	Flow
+	acc float64
+	rng *rand.Rand // only for uniform destinations
+}
+
+// NewGenerator builds a generator and registers it with the engine's
+// injection phase. nodeBPC gives each endpoint's injection-link
+// bandwidth in bytes/cycle.
+func NewGenerator(eng *sim.Engine, nodes []*endnode.Node, nodeBPC []int, flows []Flow, ids *pkt.IDGen, hook InjectHook) (*Generator, error) {
+	if len(nodes) != len(nodeBPC) {
+		return nil, fmt.Errorf("traffic: %d nodes but %d bandwidths", len(nodes), len(nodeBPC))
+	}
+	g := &Generator{eng: eng, nodes: nodes, ids: ids, bpc: nodeBPC, hook: hook}
+	for _, f := range flows {
+		if f.PktSize == 0 {
+			f.PktSize = pkt.MTU
+		}
+		if err := validate(f, len(nodes)); err != nil {
+			return nil, err
+		}
+		fs := flowState{Flow: f}
+		if f.Dst == UniformDst {
+			fs.rng = eng.RNG()
+		}
+		g.flows = append(g.flows, fs)
+	}
+	eng.Register(sim.PhaseInject, g.inject)
+	return g, nil
+}
+
+func validate(f Flow, n int) error {
+	switch {
+	case f.Src < 0 || f.Src >= n:
+		return fmt.Errorf("traffic: flow %d has bad source %d", f.ID, f.Src)
+	case f.Dst != UniformDst && (f.Dst < 0 || f.Dst >= n):
+		return fmt.Errorf("traffic: flow %d has bad destination %d", f.ID, f.Dst)
+	case f.Dst == f.Src:
+		return fmt.Errorf("traffic: flow %d sends to itself", f.ID)
+	case f.Rate <= 0 || f.Rate > 1:
+		return fmt.Errorf("traffic: flow %d rate %v outside (0,1]", f.ID, f.Rate)
+	case f.End <= f.Start:
+		return fmt.Errorf("traffic: flow %d has empty window [%d,%d)", f.ID, f.Start, f.End)
+	case f.PktSize <= 0 || f.PktSize > pkt.MTU:
+		return fmt.Errorf("traffic: flow %d packet size %d outside (0,MTU]", f.ID, f.PktSize)
+	case n < 2 && f.Dst == UniformDst:
+		return fmt.Errorf("traffic: uniform flow %d needs at least 2 endpoints", f.ID)
+	}
+	return nil
+}
+
+// inject runs once per cycle.
+func (g *Generator) inject(now sim.Cycle) {
+	for i := range g.flows {
+		f := &g.flows[i]
+		if now < f.Start || now >= f.End {
+			continue
+		}
+		f.acc += f.Rate * float64(g.bpc[f.Src])
+		// A stalled source does not bank unbounded credit: it saturates
+		// at one packet's worth plus one cycle of arrivals.
+		max := float64(f.PktSize) + f.Rate*float64(g.bpc[f.Src])
+		if f.acc > max {
+			f.acc = max
+		}
+		for f.acc >= float64(f.PktSize) {
+			dst := f.Dst
+			if dst == UniformDst {
+				dst = f.rng.Intn(len(g.nodes) - 1)
+				if dst >= f.Src {
+					dst++
+				}
+			}
+			p := pkt.NewData(g.ids, f.Src, dst, f.ID, f.PktSize, now)
+			if !g.nodes[f.Src].Offer(p) {
+				break // source stall: retry next cycle
+			}
+			f.acc -= float64(f.PktSize)
+			if g.hook != nil {
+				g.hook(p)
+			}
+		}
+	}
+}
+
+// FlowIDs returns the configured flow ids in order.
+func (g *Generator) FlowIDs() []int {
+	out := make([]int, len(g.flows))
+	for i := range g.flows {
+		out[i] = g.flows[i].ID
+	}
+	return out
+}
