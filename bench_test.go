@@ -10,7 +10,9 @@
 package ccfit_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	ccfit "repro"
@@ -231,5 +233,40 @@ func BenchmarkAblationStopThreshold(b *testing.B) {
 func BenchmarkExtraQueueing(b *testing.B) {
 	for _, s := range []string{"DBBM", "VOQsw", "OBQA"} {
 		b.Run(s, func(b *testing.B) { runScaled(b, "xqueueing", s, 0.5) })
+	}
+}
+
+// BenchmarkRunnerParallel measures the figure campaign (every paper
+// experiment × scheme, time-scaled like the Fig. 8 benches) executed
+// through the runner at 1 worker versus one worker per core, so
+// BENCH_*.json captures the parallel-orchestration speedup trajectory
+// alongside the per-figure numbers.
+func BenchmarkRunnerParallel(b *testing.B) {
+	var exps []ccfit.Experiment
+	jobCount := 0
+	for _, e := range ccfit.Experiments() {
+		if e.ID == "table1" {
+			continue
+		}
+		e.Duration = ccfit.Cycle(float64(e.Duration) * 0.1)
+		exps = append(exps, e)
+		jobCount += len(e.Schemes)
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			jobs := ccfit.JobGrid(exps, nil, []int64{1})
+			for i := 0; i < b.N; i++ {
+				results, err := ccfit.RunJobs(context.Background(), jobs, ccfit.RunOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatalf("%s: %v", r.Job, r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(jobCount), "jobs")
+		})
 	}
 }

@@ -5,18 +5,26 @@
 // scheme. This locates each scheme's saturation point — context the
 // paper assumes when it injects "at 100% of the link bandwidth".
 //
+// Every (scheme, load) point is an independent simulation, expressed
+// as a synthetic runner experiment and fanned across the worker pool.
+//
 // Usage:
 //
 //	ccfit-loadcurve -config 2 -schemes 1Q,VOQsw,VOQnet,FBICM,CCFIT
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 
 	ccfit "repro"
+	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/network"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -29,6 +37,9 @@ func main() {
 	msFlag := flag.Float64("ms", 1.0, "simulated milliseconds per point")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	points := flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1.0", "offered loads (fraction of link rate)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers")
+	cacheDir := flag.String("cache", "", "content-addressed result cache directory (empty = caching off)")
+	verbose := flag.Bool("v", false, "stream per-job progress lines to stderr")
 	flag.Parse()
 
 	var ft *topo.FatTree
@@ -38,59 +49,101 @@ func main() {
 	case 3:
 		ft = topo.Config3()
 	default:
-		fmt.Fprintln(os.Stderr, "ccfit-loadcurve: config must be 2 or 3")
-		os.Exit(1)
+		fatal(fmt.Errorf("config must be 2 or 3"))
 	}
 
 	var loads []float64
 	for _, s := range strings.Split(*points, ",") {
 		var v float64
 		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &v); err != nil || v <= 0 || v > 1 {
-			fmt.Fprintf(os.Stderr, "ccfit-loadcurve: bad load %q\n", s)
-			os.Exit(1)
+			fatal(fmt.Errorf("bad load %q", s))
 		}
 		loads = append(loads, v)
 	}
+	var schemeList []string
+	for _, s := range strings.Split(*schemes, ",") {
+		schemeList = append(schemeList, strings.TrimSpace(s))
+	}
 
-	fmt.Printf("uniform load curve on %s (%g ms per point, seed %d)\n", ft.Name, *msFlag, *seed)
-	fmt.Printf("%-8s %-8s %-10s %-12s %-12s\n", "scheme", "offered", "accepted", "p50lat(ns)", "p99lat(ns)")
-	for _, name := range strings.Split(*schemes, ",") {
-		name = strings.TrimSpace(name)
-		p, err := ccfit.Scheme(name)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ccfit-loadcurve:", err)
-			os.Exit(1)
-		}
-		for _, load := range loads {
-			end := sim.CyclesFromMS(*msFlag)
-			n, err := network.Build(ft.Topology, p, network.Options{Seed: *seed, TieBreak: ft.DETTieBreak})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "ccfit-loadcurve:", err)
-				os.Exit(1)
-			}
-			var flows []traffic.Flow
-			for s := 0; s < ft.NumEndpoints(); s++ {
-				flows = append(flows, traffic.Flow{
-					ID: s, Src: s, Dst: traffic.UniformDst, Start: 0, End: end, Rate: load,
+	end := sim.CyclesFromMS(*msFlag)
+	bin := sim.CyclesFromNS(50_000)
+	// One synthetic experiment per offered load; the load is baked into
+	// the id because it changes the traffic (and hence the cache key).
+	pointExp := func(load float64) experiments.Experiment {
+		return experiments.Experiment{
+			ID:       fmt.Sprintf("loadcurve-c%d-load%.3f", *cfg, load),
+			Title:    fmt.Sprintf("uniform load %.2f on %s", load, ft.Name),
+			Kind:     experiments.Throughput,
+			Duration: end,
+			Bin:      bin,
+			Build: func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
+				n, err := network.Build(ft.Topology, p, network.Options{
+					Seed: seed, BinCycles: bin, TieBreak: ft.DETTieBreak,
 				})
-			}
-			if err := n.AddFlows(flows); err != nil {
-				fmt.Fprintln(os.Stderr, "ccfit-loadcurve:", err)
-				os.Exit(1)
-			}
-			n.Run(end)
-			bins := int(end / n.Collector.BinCycles())
-			series := n.Collector.NormalizedSeries(bins)
-			// Steady state: skip the warm-up third.
-			sum := 0.0
-			for _, v := range series[bins/3:] {
-				sum += v
-			}
-			accepted := sum / float64(bins-bins/3)
-			fmt.Printf("%-8s %-8.2f %-10.3f %-12.0f %-12.0f\n",
-				name, load, accepted,
-				n.Collector.LatencyPercentileNS(0.50),
-				n.Collector.LatencyPercentileNS(0.99))
+				if err != nil {
+					return nil, err
+				}
+				var flows []traffic.Flow
+				for s := 0; s < ft.NumEndpoints(); s++ {
+					flows = append(flows, traffic.Flow{
+						ID: s, Src: s, Dst: traffic.UniformDst, Start: 0, End: end, Rate: load,
+					})
+				}
+				return n, n.AddFlows(flows)
+			},
 		}
 	}
+
+	var jobs []ccfit.Job
+	for _, name := range schemeList {
+		for _, load := range loads {
+			exp := pointExp(load)
+			jobs = append(jobs, ccfit.Job{ExpID: exp.ID, Scheme: name, Seed: *seed, Exp: &exp})
+		}
+	}
+
+	opt := ccfit.RunOptions{Workers: *workers}
+	if *cacheDir != "" {
+		cache, err := ccfit.OpenResultCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Cache = cache
+	}
+	if *verbose {
+		opt.Progress = ccfit.NewRunProgress(os.Stderr)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	results, err := ccfit.RunJobs(ctx, jobs, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("uniform load curve on %s (%g ms per point, seed %d, workers %d)\n", ft.Name, *msFlag, *seed, *workers)
+	fmt.Printf("%-8s %-8s %-10s %-12s %-12s\n", "scheme", "offered", "accepted", "p50lat(ns)", "p99lat(ns)")
+	cursor := 0
+	exitCode := 0
+	for _, name := range schemeList {
+		for _, load := range loads {
+			jr := results[cursor]
+			cursor++
+			if jr.Err != nil {
+				fmt.Fprintf(os.Stderr, "ccfit-loadcurve: %s: %v\n", jr.Job, jr.Err)
+				exitCode = 1
+				continue
+			}
+			r := jr.Result
+			// Steady state: skip the warm-up third.
+			accepted := experiments.SteadyMean(r.Normalized, 2.0/3.0)
+			fmt.Printf("%-8s %-8.2f %-10.3f %-12.0f %-12.0f\n",
+				name, load, accepted, r.Summary.P50LatencyNS, r.Summary.P99LatencyNS)
+		}
+	}
+	os.Exit(exitCode)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccfit-loadcurve:", err)
+	os.Exit(1)
 }

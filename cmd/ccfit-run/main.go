@@ -1,0 +1,220 @@
+// Command ccfit-run executes arbitrary experiment job grids through
+// the parallel runner: every requested (experiment, scheme, seed)
+// combination is validated up front, fanned across a worker pool,
+// served from the on-disk result cache when warm, and rendered in
+// deterministic order (parallel campaigns print byte-identical
+// results to serial ones).
+//
+// Usage:
+//
+//	ccfit-run                                  # the full paper evaluation, all cores
+//	ccfit-run -workers 4 -seeds 5 fig8b        # one figure, 5 replications
+//	ccfit-run -schemes CCFIT,ITh -cache .ccfit-cache fig7a fig7b
+//	ccfit-run -list                            # valid experiment ids
+//
+// With -csv DIR each experiment also writes a CSV, and a JSON run
+// manifest (runs, outcomes, timings, cache keys) lands in
+// DIR/manifest.json (or wherever -manifest points).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	ccfit "repro"
+	"repro/internal/runner"
+)
+
+func main() {
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers")
+	seed := flag.Int64("seed", 1, "base simulation seed")
+	seeds := flag.Int("seeds", 1, "replications per scheme (seeds seed..seed+N-1); >1 prints mean±sd tables")
+	schemesFlag := flag.String("schemes", "", "comma-separated scheme override (default: each experiment's own set)")
+	timeout := flag.Duration("timeout", 0, "per-job wall-clock timeout (0 = none)")
+	cacheDir := flag.String("cache", "", "content-addressed result cache directory (empty = caching off)")
+	csvDir := flag.String("csv", "", "also write one CSV per experiment into this directory")
+	manifestPath := flag.String("manifest", "", "write the JSON run manifest here (default: <csv>/manifest.json when -csv is set)")
+	summary := flag.Bool("summary", true, "print per-scheme congestion-management counters")
+	list := flag.Bool("list", false, "list valid experiment ids and exit")
+	verbose := flag.Bool("v", false, "stream per-job progress lines to stderr")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ccfit-run [flags] [experiment ...]\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "run 'ccfit-run -list' for the valid experiment ids\n")
+	}
+	flag.Parse()
+
+	if *list {
+		printList(os.Stdout)
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range ccfit.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	// Fail fast: every id is resolved before any simulation starts.
+	exps, err := ccfit.ResolveExperimentIDs(ids)
+	if err != nil {
+		fatal(err)
+	}
+
+	var schemes []string
+	if *schemesFlag != "" {
+		for _, s := range strings.Split(*schemesFlag, ",") {
+			schemes = append(schemes, strings.TrimSpace(s))
+		}
+	}
+	var seedList []int64
+	for i := 0; i < *seeds; i++ {
+		seedList = append(seedList, *seed+int64(i))
+	}
+
+	opt := ccfit.RunOptions{Workers: *workers, Timeout: *timeout}
+	if *cacheDir != "" {
+		cache, err := ccfit.OpenResultCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Cache = cache
+	}
+	if *verbose {
+		opt.Progress = ccfit.NewRunProgress(os.Stderr)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+		if *manifestPath == "" {
+			*manifestPath = filepath.Join(*csvDir, "manifest.json")
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	jobs := ccfit.JobGrid(exps, schemes, seedList)
+	startedAt := time.Now()
+	results, runErr := ccfit.RunJobs(ctx, jobs, opt)
+	if runErr != nil && results == nil {
+		fatal(runErr)
+	}
+
+	if *manifestPath != "" {
+		m := runner.NewManifest("ccfit-run", opt, startedAt, results)
+		if err := m.Write(*manifestPath); err != nil {
+			fatal(err)
+		}
+	}
+
+	// Render in request order; the result slice is in job-grid order,
+	// so a cursor walks it experiment by experiment, scheme by scheme.
+	cursor := 0
+	for _, exp := range exps {
+		if exp.ID == "table1" {
+			ccfit.RenderTable1(os.Stdout)
+			fmt.Println()
+			continue
+		}
+		ss := schemes
+		if ss == nil {
+			ss = exp.Schemes
+		}
+		perScheme := make([][]*ccfit.Result, 0, len(ss))
+		ok := true
+		for range ss {
+			var rs []*ccfit.Result
+			for range seedList {
+				jr := results[cursor]
+				cursor++
+				if jr.Err != nil {
+					ok = false
+					continue
+				}
+				rs = append(rs, jr.Result)
+			}
+			perScheme = append(perScheme, rs)
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ccfit-run: skipping %s render: job failures (see below)\n", exp.ID)
+			continue
+		}
+		if len(seedList) > 1 {
+			var reps []*ccfit.Replication
+			for i, s := range ss {
+				rep, err := ccfit.AggregateSeeds(exp, s, perScheme[i])
+				if err != nil {
+					fatal(err)
+				}
+				reps = append(reps, rep)
+			}
+			ccfit.RenderReplications(os.Stdout, exp, reps)
+			fmt.Println()
+			continue
+		}
+		firstSeed := make([]*ccfit.Result, len(ss))
+		for i := range ss {
+			firstSeed[i] = perScheme[i][0]
+		}
+		switch exp.FlowIDs {
+		case nil:
+			ccfit.RenderThroughput(os.Stdout, exp, firstSeed)
+		default:
+			ccfit.RenderFlows(os.Stdout, exp, firstSeed)
+		}
+		if *summary {
+			ccfit.RenderSummary(os.Stdout, firstSeed)
+		}
+		if *csvDir != "" {
+			if err := writeCSV(filepath.Join(*csvDir, exp.ID+".csv"), exp, firstSeed); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Println()
+	}
+
+	if failed := ccfit.FailedJobs(results); len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "ccfit-run: %d job(s) failed:\n", len(failed))
+		for _, f := range failed {
+			fmt.Fprintf(os.Stderr, "  %s: %v\n", f.Job, f.Err)
+		}
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+func printList(w *os.File) {
+	fmt.Fprintln(w, "paper evaluation (run by default):")
+	for _, e := range ccfit.Experiments() {
+		fmt.Fprintf(w, "  %-10s %s\n", e.ID, e.Title)
+	}
+	fmt.Fprintln(w, "extras (run on request):")
+	for _, e := range ccfit.ExtraExperiments() {
+		fmt.Fprintf(w, "  %-10s %s\n", e.ID, e.Title)
+	}
+}
+
+func writeCSV(path string, exp ccfit.Experiment, results []*ccfit.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	ccfit.WriteCSV(f, exp, results)
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccfit-run:", err)
+	os.Exit(1)
+}

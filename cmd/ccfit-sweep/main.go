@@ -4,22 +4,28 @@
 // throughput, exposing how sensitive each mechanism is to its tuning —
 // the discussion of Section III-E.
 //
+// The sweep points are independent simulations, so they execute in
+// parallel through the runner; -seeds N replicates every point and
+// prints mean±sd.
+//
 // Usage:
 //
 //	ccfit-sweep -exp fig8b -scheme CCFIT -param numcfqs
-//	ccfit-sweep -exp fig7a -scheme ITh -param markingrate
+//	ccfit-sweep -exp fig7a -scheme ITh -param markingrate -workers 4 -seeds 3
 //
 // Parameters: numcfqs, stopgo, detection, markingrate, cctitimer,
 // irdstep, islip, becnpacing.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 
 	ccfit "repro"
-	"repro/internal/experiments"
 	"repro/internal/sim"
 )
 
@@ -90,6 +96,10 @@ func main() {
 	scheme := flag.String("scheme", "CCFIT", "scheme preset to start from")
 	param := flag.String("param", "numcfqs", "parameter to sweep")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	seeds := flag.Int("seeds", 1, "replications per sweep point (seeds seed..seed+N-1)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers")
+	cacheDir := flag.String("cache", "", "content-addressed result cache directory (empty = caching off)")
+	verbose := flag.Bool("v", false, "stream per-job progress lines to stderr")
 	flag.Parse()
 
 	exp, err := ccfit.ExperimentByID(*expID)
@@ -107,41 +117,115 @@ func main() {
 	if sw == nil {
 		fatal(fmt.Errorf("unknown parameter %q", *param))
 	}
+	var seedList []int64
+	for i := 0; i < *seeds; i++ {
+		seedList = append(seedList, *seed+int64(i))
+	}
 
-	fmt.Printf("ablation: %s on %s (%s), seed %d\n", sw.name, exp.ID, *scheme, *seed)
-	fmt.Printf("%-12s %-10s %-10s %-10s\n", sw.name, "mean", "worstBin", "delivered")
+	// One job per (valid sweep value, seed); invalid combinations are
+	// reported as rows without consuming a simulation.
+	type point struct {
+		label  string
+		params ccfit.Params
+		valid  bool
+		reason error
+	}
+	var points []point
+	var jobs []ccfit.Job
 	for _, v := range sw.values {
 		p, err := ccfit.Scheme(*scheme)
 		if err != nil {
 			fatal(err)
 		}
 		sw.apply(&p, v)
+		pt := point{label: sw.label(v), params: p, valid: true}
 		if err := p.Validate(); err != nil {
-			fmt.Printf("%-12s invalid: %v\n", sw.label(v), err)
-			continue
+			pt.valid = false
+			pt.reason = err
+		} else {
+			for _, s := range seedList {
+				p := p
+				e := exp
+				jobs = append(jobs, ccfit.Job{ExpID: exp.ID, Scheme: *scheme, Seed: s, Params: &p, Exp: &e})
+			}
 		}
-		r, err := runWith(exp, p, *seed)
+		points = append(points, pt)
+	}
+
+	opt := ccfit.RunOptions{Workers: *workers}
+	if *cacheDir != "" {
+		cache, err := ccfit.OpenResultCache(*cacheDir)
 		if err != nil {
 			fatal(err)
 		}
-		worst := 1.0
-		for _, x := range r.Normalized {
-			if x < worst {
-				worst = x
-			}
-		}
-		fmt.Printf("%-12s %-10.3f %-10.3f %-10d\n", sw.label(v), r.Summary.MeanNormalized, worst, r.Summary.DeliveredPkts)
+		opt.Cache = cache
 	}
-}
-
-// runWith runs an experiment with explicit (possibly modified) params.
-func runWith(exp ccfit.Experiment, p ccfit.Params, seed int64) (*ccfit.Result, error) {
-	n, err := exp.Build(p, seed, exp.Bin, exp.Duration)
+	if *verbose {
+		opt.Progress = ccfit.NewRunProgress(os.Stderr)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	results, err := ccfit.RunJobs(ctx, jobs, opt)
 	if err != nil {
-		return nil, err
+		fatal(err)
 	}
-	n.Run(exp.Duration)
-	return experiments.Harvest(exp, p.Name, seed, n), nil
+
+	fmt.Printf("ablation: %s on %s (%s), seeds %v, workers %d\n", sw.name, exp.ID, *scheme, seedList, *workers)
+	if *seeds > 1 {
+		fmt.Printf("%-12s %-16s %-10s %-16s\n", sw.name, "mean±sd", "worstBin", "delivered±sd")
+	} else {
+		fmt.Printf("%-12s %-10s %-10s %-10s\n", sw.name, "mean", "worstBin", "delivered")
+	}
+	cursor := 0
+	exitCode := 0
+	for _, pt := range points {
+		if !pt.valid {
+			fmt.Printf("%-12s invalid: %v\n", pt.label, pt.reason)
+			continue
+		}
+		var rs []*ccfit.Result
+		failed := false
+		for range seedList {
+			jr := results[cursor]
+			cursor++
+			if jr.Err != nil {
+				fmt.Fprintf(os.Stderr, "ccfit-sweep: %s: %v\n", jr.Job, jr.Err)
+				failed = true
+				continue
+			}
+			rs = append(rs, jr.Result)
+		}
+		if failed || len(rs) == 0 {
+			fmt.Printf("%-12s failed\n", pt.label)
+			exitCode = 1
+			continue
+		}
+		// Replication statistics flow through the one shared path.
+		rep, err := ccfit.AggregateSeeds(exp, *scheme, rs)
+		if err != nil {
+			fatal(err)
+		}
+		// worstBin: the lowest per-bin normalized throughput, averaged
+		// across seeds.
+		worst := 0.0
+		for _, r := range rs {
+			w := 1.0
+			for _, x := range r.Normalized {
+				if x < w {
+					w = x
+				}
+			}
+			worst += w
+		}
+		worst /= float64(len(rs))
+		if *seeds > 1 {
+			fmt.Printf("%-12s %6.3f ±%5.3f   %-10.3f %8.0f ±%6.0f\n",
+				pt.label, rep.MeanNormalized, rep.StdNormalized, worst, rep.MeanDelivered, rep.StdDelivered)
+		} else {
+			fmt.Printf("%-12s %-10.3f %-10.3f %-10.0f\n", pt.label, rep.MeanNormalized, worst, rep.MeanDelivered)
+		}
+	}
+	os.Exit(exitCode)
 }
 
 func fatal(err error) {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/network"
@@ -158,4 +159,37 @@ func ByID(id string) (Experiment, error) {
 		}
 	}
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// ValidIDs returns every known experiment id — the paper registry in
+// paper order followed by the extras.
+func ValidIDs() []string {
+	var ids []string
+	for _, e := range append(Registry(), Extras()...) {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// ResolveIDs maps experiment ids to experiments, reporting every
+// unknown id at once (instead of erroring mid-campaign after earlier
+// experiments already ran) together with the list of valid ids.
+func ResolveIDs(ids []string) ([]Experiment, error) {
+	var (
+		exps    []Experiment
+		unknown []string
+	)
+	for _, id := range ids {
+		e, err := ByID(id)
+		if err != nil {
+			unknown = append(unknown, id)
+			continue
+		}
+		exps = append(exps, e)
+	}
+	if len(unknown) > 0 {
+		return nil, fmt.Errorf("experiments: unknown experiment id(s) %s (valid: %s)",
+			strings.Join(unknown, ", "), strings.Join(ValidIDs(), " "))
+	}
+	return exps, nil
 }

@@ -19,6 +19,8 @@ type Summary struct {
 	DeliveredBytes int64
 	AvgLatencyNS   float64
 	MaxLatencyNS   float64
+	P50LatencyNS   float64
+	P99LatencyNS   float64
 	BECNs          int
 	Marked         int
 	Detections     int
@@ -103,6 +105,8 @@ func Harvest(exp Experiment, scheme string, seed int64, n *network.Network) *Res
 	s.DeliveredBytes = n.Collector.DeliveredBytes
 	s.AvgLatencyNS = n.Collector.AvgLatencyNS()
 	s.MaxLatencyNS = n.Collector.MaxLatencyNS()
+	s.P50LatencyNS = n.Collector.LatencyPercentileNS(0.50)
+	s.P99LatencyNS = n.Collector.LatencyPercentileNS(0.99)
 	for _, nd := range n.Nodes {
 		s.BECNs += nd.Stats().BECNsReceived
 	}

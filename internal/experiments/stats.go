@@ -36,13 +36,36 @@ func RunSeeds(exp Experiment, scheme string, seeds []int64) (*Replication, error
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("experiments: RunSeeds needs at least one seed")
 	}
-	rep := &Replication{ExpID: exp.ID, Scheme: scheme, Seeds: append([]int64(nil), seeds...)}
-	var norm, del []float64
+	var results []*Result
 	for _, seed := range seeds {
 		r, err := Run(exp, scheme, seed)
 		if err != nil {
 			return nil, err
 		}
+		results = append(results, r)
+	}
+	return Aggregate(exp, scheme, results)
+}
+
+// Aggregate builds the replication statistics from already-computed
+// per-seed results — the single mean±sd path shared by RunSeeds and
+// the runner-based CLIs (which compute the per-seed results in
+// parallel and aggregate afterwards).
+func Aggregate(exp Experiment, scheme string, results []*Result) (*Replication, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("experiments: Aggregate needs at least one result")
+	}
+	rep := &Replication{ExpID: exp.ID, Scheme: scheme}
+	var norm, del []float64
+	for _, r := range results {
+		if r == nil {
+			return nil, fmt.Errorf("experiments: Aggregate got a nil result for %s/%s", exp.ID, scheme)
+		}
+		if r.ExpID != exp.ID || r.Scheme != scheme {
+			return nil, fmt.Errorf("experiments: Aggregate mixes %s/%s into %s/%s",
+				r.ExpID, r.Scheme, exp.ID, scheme)
+		}
+		rep.Seeds = append(rep.Seeds, r.Seed)
 		rep.Results = append(rep.Results, r)
 		norm = append(norm, r.Summary.MeanNormalized)
 		del = append(del, float64(r.Summary.DeliveredPkts))
@@ -56,7 +79,7 @@ func RunSeeds(exp Experiment, scheme string, seeds []int64) (*Replication, error
 		}
 	}
 	for i := range rep.SeriesMean {
-		rep.SeriesMean[i] /= float64(len(seeds))
+		rep.SeriesMean[i] /= float64(len(results))
 	}
 	rep.MeanNormalized, rep.StdNormalized = meanStd(norm)
 	rep.MeanDelivered, rep.StdDelivered = meanStd(del)

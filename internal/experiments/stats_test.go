@@ -66,6 +66,85 @@ func TestRunSeedsVariesAcrossSeeds(t *testing.T) {
 	}
 }
 
+func TestAggregateValidation(t *testing.T) {
+	exp, err := ByID("fig7a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Aggregate(exp, "CCFIT", nil); err == nil {
+		t.Fatal("empty result list accepted")
+	}
+	if _, err := Aggregate(exp, "CCFIT", []*Result{nil}); err == nil {
+		t.Fatal("nil result accepted")
+	}
+	// Results from another experiment or scheme must be rejected: the
+	// runner aggregates from a flat job list and a grouping bug would
+	// silently blend series otherwise.
+	wrong := &Result{ExpID: "fig7b", Scheme: "CCFIT", Seed: 1}
+	if _, err := Aggregate(exp, "CCFIT", []*Result{wrong}); err == nil {
+		t.Fatal("mismatched experiment accepted")
+	}
+	wrong = &Result{ExpID: "fig7a", Scheme: "ITh", Seed: 1}
+	if _, err := Aggregate(exp, "CCFIT", []*Result{wrong}); err == nil {
+		t.Fatal("mismatched scheme accepted")
+	}
+}
+
+func TestAggregateMatchesRunSeeds(t *testing.T) {
+	exp, err := ByID("fig7a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.Duration = ms(0.3)
+	seeds := []int64{3, 4}
+	direct, err := RunSeeds(exp, "CCFIT", seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The runner path: results computed independently, then aggregated
+	// through the same code.
+	var results []*Result
+	for _, s := range seeds {
+		r, err := Run(exp, "CCFIT", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	agg, err := Aggregate(exp, "CCFIT", results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.MeanNormalized != direct.MeanNormalized || agg.StdNormalized != direct.StdNormalized ||
+		agg.MeanDelivered != direct.MeanDelivered || agg.StdDelivered != direct.StdDelivered {
+		t.Fatalf("aggregate diverged from RunSeeds:\n%+v\n%+v", agg, direct)
+	}
+	for i := range agg.SeriesMean {
+		if agg.SeriesMean[i] != direct.SeriesMean[i] {
+			t.Fatal("series mean diverged")
+		}
+	}
+}
+
+func TestResolveIDs(t *testing.T) {
+	exps, err := ResolveIDs([]string{"fig7a", "table1", "xfairness"})
+	if err != nil || len(exps) != 3 {
+		t.Fatalf("valid ids rejected: %v", err)
+	}
+	_, err = ResolveIDs([]string{"fig7a", "nope", "alsobad"})
+	if err == nil {
+		t.Fatal("unknown ids accepted")
+	}
+	for _, want := range []string{"nope", "alsobad", "fig8b"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q misses %q", err, want)
+		}
+	}
+	if len(ValidIDs()) < 11 {
+		t.Fatalf("ValidIDs too short: %v", ValidIDs())
+	}
+}
+
 func TestRunSeedsValidation(t *testing.T) {
 	exp, _ := ByID("fig7a")
 	if _, err := RunSeeds(exp, "CCFIT", nil); err == nil {

@@ -1,0 +1,135 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// schemaVersion is bumped whenever the Result encoding or the
+// simulation semantics change incompatibly; it invalidates every
+// existing cache entry.
+const schemaVersion = 1
+
+// Cache is a content-addressed on-disk result store: one gob-encoded
+// experiments.Result per key, laid out as dir/<key[:2]>/<key>.gob.
+// Entries are written atomically (temp file + rename), reads treat a
+// missing or corrupt entry as a miss, and the zero-size guarantee is
+// that a hit decodes to the byte-identical Result the original run
+// produced (gob round-trips float64 exactly).
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, errors.New("runner: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: opening cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// Fingerprint is the canonical pre-hash description of one run: the
+// experiment identity (id, durations, kind, flow set), the scheme
+// label, the seed, every congestion-management parameter, and the
+// module version. Two runs with equal fingerprints produce identical
+// Results; anything that could change the output must appear here.
+// The Build closure itself cannot be fingerprinted — synthetic
+// experiments carrying different traffic must use distinct IDs.
+func Fingerprint(exp experiments.Experiment, scheme string, seed int64, p core.Params) string {
+	p.Tracer = nil // observers don't affect results and can't be serialized
+	return fmt.Sprintf("ccfit-result-v%d|mod=%s|exp=%s|dur=%d|bin=%d|kind=%d|flows=%v|scheme=%s|seed=%d|params=%+v",
+		schemaVersion, moduleVersion(), exp.ID, exp.Duration, exp.Bin, exp.Kind, exp.FlowIDs, scheme, seed, p)
+}
+
+// Key hashes a run's Fingerprint into its cache address.
+func Key(exp experiments.Experiment, scheme string, seed int64, p core.Params) string {
+	sum := sha256.Sum256([]byte(Fingerprint(exp, scheme, seed, p)))
+	return hex.EncodeToString(sum[:])
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".gob")
+}
+
+// Get loads a cached result; any miss, decode error or truncated
+// entry simply reports !ok and the job recomputes.
+func (c *Cache) Get(key string) (*experiments.Result, bool) {
+	f, err := os.Open(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var r experiments.Result
+	if err := gob.NewDecoder(f).Decode(&r); err != nil {
+		return nil, false
+	}
+	return &r, true
+}
+
+// Put stores a result atomically under key.
+func (c *Cache) Put(key string, r *experiments.Result) error {
+	dir := filepath.Dir(c.path(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, key+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(tmp).Encode(r); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}
+
+var (
+	modOnce sync.Once
+	modVer  string
+)
+
+// moduleVersion identifies the code that produced a result: the main
+// module version when built from a released module, the VCS revision
+// when built from a checkout, "devel" otherwise (a dev tree cannot
+// distinguish its own edits; schemaVersion covers deliberate breaks).
+func moduleVersion() string {
+	modOnce.Do(func() {
+		modVer = "devel"
+		info, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if v := info.Main.Version; v != "" && v != "(devel)" {
+			modVer = v
+			return
+		}
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				modVer = s.Value
+				return
+			}
+		}
+	})
+	return modVer
+}

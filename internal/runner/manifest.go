@@ -1,0 +1,89 @@
+package runner
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// Manifest is the machine-readable record of one campaign, written as
+// JSON next to the CSVs so a rendered figure set documents exactly
+// which runs (and cache entries) produced it.
+type Manifest struct {
+	Tool      string        `json:"tool,omitempty"`
+	Module    string        `json:"module_version"`
+	StartedAt time.Time     `json:"started_at"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Workers   int           `json:"workers"`
+	CacheDir  string        `json:"cache_dir,omitempty"`
+	Jobs      int           `json:"jobs"`
+	Cached    int           `json:"cached"`
+	Failed    int           `json:"failed"`
+	Runs      []ManifestRun `json:"runs"`
+}
+
+// ManifestRun records one job's outcome.
+type ManifestRun struct {
+	Experiment     string  `json:"experiment"`
+	Scheme         string  `json:"scheme"`
+	Seed           int64   `json:"seed"`
+	CacheKey       string  `json:"cache_key,omitempty"`
+	Status         string  `json:"status"` // "ok", "cached" or "failed"
+	ElapsedMS      float64 `json:"elapsed_ms"`
+	Error          string  `json:"error,omitempty"`
+	MeanNormalized float64 `json:"mean_normalized,omitempty"`
+	DeliveredPkts  int64   `json:"delivered_pkts,omitempty"`
+}
+
+// NewManifest summarises a finished campaign.
+func NewManifest(tool string, opt Options, startedAt time.Time, results []JobResult) *Manifest {
+	m := &Manifest{
+		Tool:      tool,
+		Module:    moduleVersion(),
+		StartedAt: startedAt,
+		ElapsedMS: float64(time.Since(startedAt).Milliseconds()),
+		Workers:   opt.Workers,
+		Jobs:      len(results),
+	}
+	if opt.Cache != nil {
+		m.CacheDir = opt.Cache.Dir()
+	}
+	for _, r := range results {
+		run := ManifestRun{
+			Experiment: r.Job.ExpID,
+			Scheme:     r.Job.Scheme,
+			Seed:       r.Job.Seed,
+			CacheKey:   r.Key,
+			ElapsedMS:  float64(r.Elapsed.Milliseconds()),
+		}
+		if run.Experiment == "" && r.Job.Exp != nil {
+			run.Experiment = r.Job.Exp.ID
+		}
+		switch {
+		case r.Err != nil:
+			run.Status = "failed"
+			run.Error = r.Err.Error()
+			m.Failed++
+		case r.Cached:
+			run.Status = "cached"
+			m.Cached++
+		default:
+			run.Status = "ok"
+		}
+		if r.Result != nil {
+			run.MeanNormalized = r.Result.Summary.MeanNormalized
+			run.DeliveredPkts = r.Result.Summary.DeliveredPkts
+		}
+		m.Runs = append(m.Runs, run)
+	}
+	return m
+}
+
+// Write stores the manifest as indented JSON at path.
+func (m *Manifest) Write(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,395 @@
+// Package runner orchestrates campaigns of independent simulation
+// jobs. Every run the repo cares about — the 8 paper figures × up to
+// 5 schemes × N seeds, the ablation sweeps, the load curves — is an
+// independent single-goroutine simulation, so the runner fans a job
+// grid across a worker pool sized by the caller (default: one worker
+// per core) while keeping each simulation itself single-goroutine and
+// bit-deterministic.
+//
+// The runner provides the operational layer the ad-hoc CLI for-loops
+// lacked:
+//
+//   - fail-fast validation: every job's experiment id, scheme and
+//     parameter set are resolved before anything runs, so a typo is
+//     reported up front with the list of valid ids instead of erroring
+//     mid-campaign;
+//   - context.Context cancellation and optional per-job wall-clock
+//     timeouts;
+//   - per-job panic recovery, converting a crashed simulation into a
+//     reported job failure instead of killing the whole campaign;
+//   - a content-addressed on-disk result cache (see Cache) keyed by
+//     experiment id, durations, scheme, seed, the full parameter set
+//     and the module version, so re-renders skip completed runs;
+//   - progress telemetry (jobs done/total, per-job elapsed, campaign
+//     ETA) through a callback, plus a JSON run manifest (see Manifest)
+//     written next to the CSVs.
+//
+// Results come back in job order regardless of completion order, so a
+// parallel campaign renders identically to a serial one.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// Job is one unit of work: an experiment run under one scheme and one
+// seed, optionally with overridden parameters (ablation sweeps).
+type Job struct {
+	// ExpID names a registered experiment (experiments.ByID). Ignored
+	// when Exp is set.
+	ExpID string
+	// Scheme is the preset name ("CCFIT", "ITh", ...). When Params is
+	// set the preset is not consulted, but the name still labels the
+	// result (defaulting to Params.Name).
+	Scheme string
+	// Seed drives every random stream of the simulation.
+	Seed int64
+	// Params, when non-nil, overrides the scheme preset — the ablation
+	// path. The override is part of the cache key.
+	Params *core.Params
+	// Exp, when non-nil, supplies the experiment directly: synthetic
+	// experiments (load curves) and time-scaled copies (tests,
+	// benches). Distinct traffic must use distinct IDs/durations, since
+	// those — not the Build closure — enter the cache key.
+	Exp *experiments.Experiment
+}
+
+// String labels a job for telemetry and error messages.
+func (j Job) String() string {
+	id := j.ExpID
+	if id == "" && j.Exp != nil {
+		id = j.Exp.ID
+	}
+	scheme := j.Scheme
+	if scheme == "" && j.Params != nil {
+		scheme = j.Params.Name
+	}
+	return fmt.Sprintf("%s/%s seed=%d", id, scheme, j.Seed)
+}
+
+// JobResult is the outcome of one job. Exactly one of Result/Err is
+// meaningful; Err covers build failures, panics, timeouts and
+// cancellation.
+type JobResult struct {
+	Job     Job
+	Result  *experiments.Result
+	Err     error
+	Cached  bool
+	Elapsed time.Duration
+	// Key is the cache key (empty when caching is disabled).
+	Key string
+}
+
+// Options configure a campaign.
+type Options struct {
+	// Workers is the pool size; <=0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Timeout bounds each job's wall-clock time; 0 disables. A timed
+	// out simulation is abandoned (its goroutine finishes in the
+	// background and the result is discarded) and reported as a job
+	// failure.
+	Timeout time.Duration
+	// Cache, when non-nil, is consulted before running a job and
+	// updated after a successful run.
+	Cache *Cache
+	// Progress, when non-nil, receives telemetry events. Calls are
+	// serialized by the runner; the callback need not be thread-safe.
+	Progress func(Event)
+}
+
+// EventType classifies a telemetry event.
+type EventType uint8
+
+const (
+	// JobStart fires when a worker picks a job up.
+	JobStart EventType = iota
+	// JobDone fires when a job's simulation completes.
+	JobDone
+	// JobCached fires when a job is satisfied from the cache.
+	JobCached
+	// JobFailed fires when a job errors, panics, times out or is
+	// cancelled.
+	JobFailed
+)
+
+// Event is one telemetry tick: which job, how far along the campaign
+// is, and — for finished jobs — per-job elapsed time and a campaign
+// ETA extrapolated from throughput so far.
+type Event struct {
+	Type  EventType
+	Job   Job
+	Index int
+	// Done counts finished jobs (including this one for finish
+	// events); Total is the campaign size.
+	Done, Total int
+	// JobElapsed is this job's wall-clock time (finish events).
+	JobElapsed time.Duration
+	// Elapsed is campaign wall-clock so far; ETA estimates what
+	// remains (0 when unknown).
+	Elapsed, ETA time.Duration
+	Err          error
+}
+
+// resolved is a job after fail-fast validation.
+type resolved struct {
+	exp    experiments.Experiment
+	params core.Params
+	scheme string
+	seed   int64
+	key    string
+}
+
+// resolve validates one job: the experiment must exist and be
+// runnable, the scheme/params must be valid.
+func resolve(j Job) (resolved, error) {
+	var out resolved
+	if j.Exp != nil {
+		out.exp = *j.Exp
+	} else {
+		e, err := experiments.ByID(j.ExpID)
+		if err != nil {
+			return out, err
+		}
+		out.exp = e
+	}
+	if out.exp.Kind == experiments.ConfigTable {
+		return out, fmt.Errorf("%s is a static table, not a runnable experiment", out.exp.ID)
+	}
+	if out.exp.Build == nil {
+		return out, fmt.Errorf("%s has no Build function", out.exp.ID)
+	}
+	if j.Params != nil {
+		out.params = *j.Params
+	} else {
+		p, err := experiments.SchemeByName(j.Scheme)
+		if err != nil {
+			return out, err
+		}
+		out.params = p
+	}
+	if err := out.params.Validate(); err != nil {
+		return out, err
+	}
+	out.scheme = j.Scheme
+	if out.scheme == "" {
+		out.scheme = out.params.Name
+	}
+	out.seed = j.Seed
+	return out, nil
+}
+
+// Run executes a campaign: it validates every job up front, fans the
+// valid grid across the worker pool, and returns one JobResult per
+// job in input order. The returned error is non-nil only for campaign
+// setup problems (invalid jobs) or context cancellation; individual
+// job failures are reported in their JobResult.Err.
+func Run(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error) {
+	rs := make([]resolved, len(jobs))
+	var invalid []string
+	for i, j := range jobs {
+		r, err := resolve(j)
+		if err != nil {
+			invalid = append(invalid, fmt.Sprintf("job %d (%s): %v", i, j, err))
+			continue
+		}
+		if opt.Cache != nil {
+			r.key = Key(r.exp, r.scheme, j.Seed, r.params)
+		}
+		rs[i] = r
+	}
+	if len(invalid) > 0 {
+		return nil, fmt.Errorf("runner: %d invalid job(s):\n  %s\nvalid experiment ids: %s",
+			len(invalid), strings.Join(invalid, "\n  "), strings.Join(experiments.ValidIDs(), " "))
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		out     = make([]JobResult, len(jobs))
+		started = make([]bool, len(jobs))
+		idx     = make(chan int)
+		wg      sync.WaitGroup
+
+		mu       sync.Mutex // serializes done counting and Progress calls
+		done     int
+		campaign = time.Now()
+	)
+	emit := func(ev Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		ev.Total = len(jobs)
+		switch ev.Type {
+		case JobStart:
+			ev.Done = done
+		default:
+			done++
+			ev.Done = done
+			ev.Elapsed = time.Since(campaign)
+			if done > 0 && done < len(jobs) {
+				ev.ETA = time.Duration(float64(ev.Elapsed) / float64(done) * float64(len(jobs)-done))
+			}
+		}
+		if opt.Progress != nil {
+			opt.Progress(ev)
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = runOne(ctx, jobs[i], rs[i], i, opt, emit)
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case idx <- i:
+			started[i] = true
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			if !started[i] {
+				out[i] = JobResult{Job: jobs[i], Err: err}
+			}
+		}
+		return out, err
+	}
+	return out, nil
+}
+
+// runOne executes a single job: cache probe, simulation with timeout
+// and panic containment, cache store, telemetry.
+func runOne(ctx context.Context, job Job, r resolved, i int, opt Options, emit func(Event)) JobResult {
+	emit(Event{Type: JobStart, Job: job, Index: i})
+	t0 := time.Now()
+	if opt.Cache != nil {
+		if res, ok := opt.Cache.Get(r.key); ok {
+			jr := JobResult{Job: job, Result: res, Cached: true, Elapsed: time.Since(t0), Key: r.key}
+			emit(Event{Type: JobCached, Job: job, Index: i, JobElapsed: jr.Elapsed})
+			return jr
+		}
+	}
+	res, err := executeBounded(ctx, job, r, opt.Timeout)
+	jr := JobResult{Job: job, Result: res, Err: err, Elapsed: time.Since(t0), Key: r.key}
+	if err != nil {
+		emit(Event{Type: JobFailed, Job: job, Index: i, JobElapsed: jr.Elapsed, Err: err})
+		return jr
+	}
+	if opt.Cache != nil {
+		// A failed store only costs the next run a recompute.
+		if perr := opt.Cache.Put(r.key, res); perr != nil {
+			jr.Err = fmt.Errorf("runner: %s ran but caching failed: %w", job, perr)
+		}
+	}
+	emit(Event{Type: JobDone, Job: job, Index: i, JobElapsed: jr.Elapsed})
+	return jr
+}
+
+// executeBounded runs the simulation in its own goroutine so the
+// worker can enforce the timeout and cancellation. The simulator has
+// no preemption points: an abandoned run keeps computing in the
+// background until it finishes, then its result is discarded.
+func executeBounded(ctx context.Context, job Job, r resolved, timeout time.Duration) (*experiments.Result, error) {
+	type outcome struct {
+		res *experiments.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := execute(r)
+		ch <- outcome{res, err}
+	}()
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-timer:
+		return nil, fmt.Errorf("runner: %s exceeded the %v job timeout (simulation abandoned)", job, timeout)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// execute builds, runs and harvests one simulation, converting a panic
+// anywhere in the stack into a job error.
+func execute(r resolved) (res *experiments.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("runner: job panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+	n, err := r.exp.Build(r.params, r.seed, r.exp.Bin, r.exp.Duration)
+	if err != nil {
+		return nil, err
+	}
+	n.Run(r.exp.Duration)
+	return experiments.Harvest(r.exp, r.scheme, r.seed, n), nil
+}
+
+// Grid expands experiments × schemes × seeds into a job list in
+// deterministic experiment-major order (matching paper render order).
+// A nil scheme list uses each experiment's own Schemes; ConfigTable
+// entries are skipped. An empty seed list defaults to seed 1.
+func Grid(exps []experiments.Experiment, schemes []string, seeds []int64) []Job {
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	var jobs []Job
+	for i := range exps {
+		exp := exps[i]
+		if exp.Kind == experiments.ConfigTable {
+			continue
+		}
+		ss := schemes
+		if ss == nil {
+			ss = exp.Schemes
+		}
+		for _, s := range ss {
+			for _, seed := range seeds {
+				e := exp
+				jobs = append(jobs, Job{ExpID: exp.ID, Scheme: s, Seed: seed, Exp: &e})
+			}
+		}
+	}
+	return jobs
+}
+
+// Failed filters a campaign's failures (nil when everything ran).
+func Failed(results []JobResult) []JobResult {
+	var out []JobResult
+	for _, r := range results {
+		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}

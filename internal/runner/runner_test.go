@@ -1,0 +1,360 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// scaledRegistry returns every runnable paper experiment with a short
+// duration, so the determinism matrix stays tractable under -race.
+func scaledRegistry() []experiments.Experiment {
+	var out []experiments.Experiment
+	for _, e := range experiments.Registry() {
+		if e.Kind == experiments.ConfigTable {
+			continue
+		}
+		e.Duration = sim.CyclesFromMS(0.1)
+		out = append(out, e)
+	}
+	return out
+}
+
+func encode(t *testing.T, r *experiments.Result) []byte {
+	t.Helper()
+	if r == nil {
+		t.Fatal("nil result")
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func mustRun(t *testing.T, jobs []Job, opt Options) []JobResult {
+	t.Helper()
+	results, err := Run(context.Background(), jobs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Job, r.Err)
+		}
+	}
+	return results
+}
+
+// TestParallelMatchesSerial is the core determinism guarantee: for
+// every registered experiment, a parallel campaign (workers=4)
+// produces byte-identical Result series to the serial one (workers=1)
+// under the same seed, and warm cache hits return identical data.
+func TestParallelMatchesSerial(t *testing.T) {
+	jobs := Grid(scaledRegistry(), nil, []int64{1})
+	if len(jobs) == 0 {
+		t.Fatal("empty grid")
+	}
+	serial := mustRun(t, jobs, Options{Workers: 1})
+
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := mustRun(t, jobs, Options{Workers: 4, Cache: cache})
+	for i := range jobs {
+		if !bytes.Equal(encode(t, serial[i].Result), encode(t, parallel[i].Result)) {
+			t.Fatalf("%s: parallel result differs from serial", jobs[i])
+		}
+	}
+
+	// Second pass over a warm cache: every job is served from disk
+	// with byte-identical data.
+	warm := mustRun(t, jobs, Options{Workers: 4, Cache: cache})
+	for i := range jobs {
+		if !warm[i].Cached {
+			t.Fatalf("%s: expected cache hit", jobs[i])
+		}
+		if !bytes.Equal(encode(t, serial[i].Result), encode(t, warm[i].Result)) {
+			t.Fatalf("%s: cached result differs from serial", jobs[i])
+		}
+	}
+}
+
+func TestRunFailsFastOnInvalidJobs(t *testing.T) {
+	for _, jobs := range [][]Job{
+		{{ExpID: "nope", Scheme: "CCFIT", Seed: 1}},
+		{{ExpID: "fig7a", Scheme: "bogus", Seed: 1}},
+		{{ExpID: "table1", Scheme: "CCFIT", Seed: 1}},
+	} {
+		results, err := Run(context.Background(), jobs, Options{})
+		if err == nil {
+			t.Fatalf("jobs %v accepted", jobs)
+		}
+		if results != nil {
+			t.Fatal("invalid campaign still produced results")
+		}
+		if !strings.Contains(err.Error(), "valid experiment ids") {
+			t.Fatalf("error does not list valid ids: %v", err)
+		}
+	}
+	// Bad params fail before anything runs too.
+	p := core.PresetCCFIT()
+	p.NumCFQs = 0
+	_, err := Run(context.Background(), []Job{{ExpID: "fig7a", Scheme: "CCFIT", Seed: 1, Params: &p}}, Options{})
+	if err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+// syntheticExp wraps a Build function as a runnable experiment.
+func syntheticExp(id string, build func(core.Params, int64, sim.Cycle, sim.Cycle) (*network.Network, error)) *experiments.Experiment {
+	return &experiments.Experiment{
+		ID:       id,
+		Kind:     experiments.Throughput,
+		Duration: sim.CyclesFromMS(0.05),
+		Bin:      sim.CyclesFromNS(50_000),
+		Build:    build,
+	}
+}
+
+func TestPanicBecomesJobFailure(t *testing.T) {
+	boom := syntheticExp("xpanic", func(core.Params, int64, sim.Cycle, sim.Cycle) (*network.Network, error) {
+		panic("synthetic crash")
+	})
+	good, err := experiments.ByID("fig7a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good.Duration = sim.CyclesFromMS(0.05)
+	jobs := []Job{
+		{Scheme: "CCFIT", Seed: 1, Exp: boom},
+		{ExpID: "fig7a", Scheme: "CCFIT", Seed: 1, Exp: &good},
+	}
+	results, err := Run(context.Background(), jobs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "panicked") {
+		t.Fatalf("panic not converted to failure: %v", results[0].Err)
+	}
+	// The crash must not take the campaign down with it.
+	if results[1].Err != nil || results[1].Result == nil {
+		t.Fatalf("healthy job damaged by neighbouring panic: %v", results[1].Err)
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	slow := syntheticExp("xslow", func(core.Params, int64, sim.Cycle, sim.Cycle) (*network.Network, error) {
+		time.Sleep(300 * time.Millisecond)
+		return nil, errors.New("too late to matter")
+	})
+	results, err := Run(context.Background(),
+		[]Job{{Scheme: "CCFIT", Seed: 1, Exp: slow}},
+		Options{Workers: 1, Timeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "timeout") {
+		t.Fatalf("timeout not reported: %v", results[0].Err)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := Grid(scaledRegistry()[:1], nil, []int64{1})
+	results, err := Run(ctx, jobs, Options{Workers: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	for _, r := range results {
+		if r.Err == nil {
+			t.Fatalf("%s ran under a cancelled context", r.Job)
+		}
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	reg := experiments.Registry() // includes table1 (skipped by Grid)
+	jobs := Grid(reg, nil, []int64{1, 2})
+	want := 0
+	for _, e := range reg {
+		if e.Kind != experiments.ConfigTable {
+			want += len(e.Schemes) * 2
+		}
+	}
+	if len(jobs) != want {
+		t.Fatalf("grid has %d jobs, want %d", len(jobs), want)
+	}
+	// Scheme override applies to every experiment; empty seeds default
+	// to seed 1.
+	jobs = Grid(reg[:2], []string{"CCFIT"}, nil)
+	for _, j := range jobs {
+		if j.Scheme != "CCFIT" || j.Seed != 1 {
+			t.Fatalf("override broken: %+v", j)
+		}
+	}
+}
+
+func TestProgressTelemetry(t *testing.T) {
+	exp := scaledRegistry()[0]
+	exp.Duration = sim.CyclesFromMS(0.05)
+	jobs := Grid([]experiments.Experiment{exp}, nil, []int64{1})
+	var events []Event
+	_ = mustRun(t, jobs, Options{Workers: 3, Progress: func(ev Event) { events = append(events, ev) }})
+	starts, finishes := 0, 0
+	lastDone := 0
+	for _, ev := range events {
+		switch ev.Type {
+		case JobStart:
+			starts++
+		default:
+			finishes++
+			if ev.Done != lastDone+1 {
+				t.Fatalf("done counter skipped: %d after %d", ev.Done, lastDone)
+			}
+			lastDone = ev.Done
+			if ev.Total != len(jobs) || ev.JobElapsed <= 0 {
+				t.Fatalf("bad event: %+v", ev)
+			}
+		}
+	}
+	if starts != len(jobs) || finishes != len(jobs) {
+		t.Fatalf("starts=%d finishes=%d, want %d each", starts, finishes, len(jobs))
+	}
+
+	// The stream renderer emits one [done/total] line per finish.
+	var buf bytes.Buffer
+	render := NewProgress(&buf)
+	for _, ev := range events {
+		render(ev)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != len(jobs) {
+		t.Fatalf("progress rendered %d lines, want %d:\n%s", lines, len(jobs), buf.String())
+	}
+	if !strings.Contains(buf.String(), "[4/4]") {
+		t.Fatalf("final progress line missing:\n%s", buf.String())
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	exp := scaledRegistry()[0]
+	jobs := Grid([]experiments.Experiment{exp}, []string{"CCFIT"}, []int64{1})
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Workers: 1, Cache: cache}
+	start := time.Now()
+	results := mustRun(t, jobs, opt)
+	m := NewManifest("test", opt, start, results)
+	if m.Jobs != 1 || m.Failed != 0 || m.Cached != 0 {
+		t.Fatalf("manifest counters: %+v", m)
+	}
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Runs) != 1 || back.Runs[0].Status != "ok" ||
+		back.Runs[0].Experiment != exp.ID || back.Runs[0].CacheKey == "" {
+		t.Fatalf("manifest round-trip: %+v", back.Runs)
+	}
+	if back.Runs[0].MeanNormalized <= 0 || back.Runs[0].DeliveredPkts <= 0 {
+		t.Fatalf("manifest lost the headline metrics: %+v", back.Runs[0])
+	}
+
+	// A warm re-run records cached status.
+	results = mustRun(t, jobs, opt)
+	m = NewManifest("test", opt, start, results)
+	if m.Cached != 1 || m.Runs[0].Status != "cached" {
+		t.Fatalf("cached status not recorded: %+v", m.Runs[0])
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	exp, err := experiments.ByID("fig7a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.PresetCCFIT()
+	base := Key(exp, "CCFIT", 1, p)
+	if k := Key(exp, "CCFIT", 1, p); k != base {
+		t.Fatal("key not stable")
+	}
+	if k := Key(exp, "CCFIT", 2, p); k == base {
+		t.Fatal("seed not in key")
+	}
+	if k := Key(exp, "ITh", 1, p); k == base {
+		t.Fatal("scheme not in key")
+	}
+	p2 := p
+	p2.NumCFQs = 4
+	if k := Key(exp, "CCFIT", 1, p2); k == base {
+		t.Fatal("params not in key")
+	}
+	exp2 := exp
+	exp2.Duration = exp.Duration / 2
+	if k := Key(exp2, "CCFIT", 1, p); k == base {
+		t.Fatal("duration not in key")
+	}
+	exp3 := exp
+	exp3.ID = "other"
+	if k := Key(exp3, "CCFIT", 1, p); k == base {
+		t.Fatal("experiment id not in key")
+	}
+	// A tracer is an observer, not an input: it must not change the key.
+	p3 := p
+	p3.Tracer = trace.NewCounter()
+	if k := Key(exp, "CCFIT", 1, p3); k != base {
+		t.Fatal("tracer leaked into the key")
+	}
+}
+
+func TestCacheMissOnCorruptEntry(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, _ := experiments.ByID("fig7a")
+	key := Key(exp, "CCFIT", 1, core.PresetCCFIT())
+	if _, ok := cache.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	r := &experiments.Result{ExpID: "fig7a", Scheme: "CCFIT", Seed: 1, Normalized: []float64{0.5}}
+	if err := cache.Put(key, r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cache.Get(key)
+	if !ok || got.Normalized[0] != 0.5 {
+		t.Fatalf("round-trip failed: %+v ok=%v", got, ok)
+	}
+	// Truncate the entry: a corrupt file is a miss, not an error.
+	if err := os.WriteFile(cache.path(key), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(key); ok {
+		t.Fatal("corrupt entry reported a hit")
+	}
+}

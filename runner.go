@@ -1,0 +1,80 @@
+package ccfit
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+)
+
+// Experiment-campaign orchestration, re-exported for library users.
+// The runner fans independent (experiment, scheme, seed) simulations
+// across a worker pool — each simulation stays single-goroutine and
+// bit-deterministic, so a parallel campaign produces byte-identical
+// results to a serial one — with per-job panic recovery, optional
+// wall-clock timeouts, a content-addressed on-disk result cache, and
+// progress telemetry. See internal/runner for details.
+type (
+	// Job is one unit of campaign work: (experiment, scheme, seed),
+	// optionally with overridden Params (ablations) or a synthetic
+	// Experiment.
+	Job = runner.Job
+	// JobResult pairs a Job with its Result or failure.
+	JobResult = runner.JobResult
+	// RunOptions configure a campaign: Workers, Timeout, Cache,
+	// Progress.
+	RunOptions = runner.Options
+	// RunEvent is one telemetry tick (done/total, elapsed, ETA).
+	RunEvent = runner.Event
+	// ResultCache is the content-addressed on-disk result store.
+	ResultCache = runner.Cache
+	// RunManifest is the JSON record of a finished campaign.
+	RunManifest = runner.Manifest
+)
+
+// RunJobs executes a campaign across the worker pool, returning one
+// JobResult per job in input order. Every job is validated before
+// anything runs; per-job failures land in JobResult.Err.
+func RunJobs(ctx context.Context, jobs []Job, opt RunOptions) ([]JobResult, error) {
+	return runner.Run(ctx, jobs, opt)
+}
+
+// JobGrid expands experiments × schemes × seeds into a deterministic
+// experiment-major job list (nil schemes = each experiment's own set;
+// ConfigTable entries are skipped).
+func JobGrid(exps []Experiment, schemes []string, seeds []int64) []Job {
+	return runner.Grid(exps, schemes, seeds)
+}
+
+// OpenResultCache opens (creating if needed) an on-disk result cache.
+func OpenResultCache(dir string) (*ResultCache, error) {
+	return runner.OpenCache(dir)
+}
+
+// NewRunProgress returns a RunOptions.Progress callback streaming one
+// line per finished job to w.
+func NewRunProgress(w io.Writer) func(RunEvent) {
+	return runner.NewProgress(w)
+}
+
+// FailedJobs filters a campaign's failures (nil when everything ran).
+func FailedJobs(results []JobResult) []JobResult {
+	return runner.Failed(results)
+}
+
+// ExperimentIDs returns every known experiment id (paper + extras).
+func ExperimentIDs() []string { return experiments.ValidIDs() }
+
+// ResolveExperimentIDs maps ids to experiments, reporting every
+// unknown id at once together with the valid set (fail-fast CLI
+// validation).
+func ResolveExperimentIDs(ids []string) ([]Experiment, error) {
+	return experiments.ResolveIDs(ids)
+}
+
+// AggregateSeeds builds replication statistics (mean ± sd) from
+// already-computed per-seed results of one (experiment, scheme) pair.
+func AggregateSeeds(exp Experiment, scheme string, results []*Result) (*Replication, error) {
+	return experiments.Aggregate(exp, scheme, results)
+}
