@@ -27,6 +27,7 @@ import (
 	"time"
 
 	ccfit "repro"
+	"repro/internal/prof"
 	"repro/internal/runner"
 )
 
@@ -39,6 +40,8 @@ func main() {
 	summary := flag.Bool("summary", true, "print per-scheme congestion-management counters")
 	list := flag.Bool("list", false, "list valid experiment ids and exit")
 	verbose := flag.Bool("v", false, "stream per-job progress lines to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+	memProfile := flag.String("memprofile", "", "write a post-campaign heap profile to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ccfit-figures [flags] [experiment ...]\navailable experiments:\n")
 		printList(os.Stderr)
@@ -90,8 +93,15 @@ func main() {
 	// One campaign for every runnable experiment; Table I renders
 	// statically in its paper position.
 	jobs := ccfit.JobGrid(exps, nil, seedList)
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
 	startedAt := time.Now()
 	results, runErr := ccfit.RunJobs(ctx, jobs, opt)
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
 	if runErr != nil && results == nil {
 		fatal(runErr)
 	}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	ccfit "repro"
+	"repro/internal/prof"
 	"repro/internal/runner"
 )
 
@@ -44,6 +45,8 @@ func main() {
 	summary := flag.Bool("summary", true, "print per-scheme congestion-management counters")
 	list := flag.Bool("list", false, "list valid experiment ids and exit")
 	verbose := flag.Bool("v", false, "stream per-job progress lines to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+	memProfile := flag.String("memprofile", "", "write a post-campaign heap profile to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ccfit-run [flags] [experiment ...]\n")
 		flag.PrintDefaults()
@@ -103,8 +106,15 @@ func main() {
 	defer stop()
 
 	jobs := ccfit.JobGrid(exps, schemes, seedList)
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
 	startedAt := time.Now()
 	results, runErr := ccfit.RunJobs(ctx, jobs, opt)
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
 	if runErr != nil && results == nil {
 		fatal(runErr)
 	}

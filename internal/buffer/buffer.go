@@ -86,6 +86,7 @@ func (q *Queue) Pop() *pkt.Packet {
 	if q.ram != nil {
 		q.ram.give(p.Size)
 	}
+	q.maybeShrink()
 	return p
 }
 
@@ -103,6 +104,7 @@ func (q *Queue) TransferHead(dst *Queue) *pkt.Packet {
 		q.head = (q.head + 1) % len(q.pkts)
 		q.count--
 		q.bytes -= p.Size
+		q.maybeShrink()
 		if dst.count == len(dst.pkts) {
 			dst.grow()
 		}
@@ -118,10 +120,13 @@ func (q *Queue) TransferHead(dst *Queue) *pkt.Packet {
 	return p
 }
 
+// minRing is the smallest ring allocated; rings never shrink below it.
+const minRing = 8
+
 func (q *Queue) grow() {
 	n := len(q.pkts) * 2
 	if n == 0 {
-		n = 8
+		n = minRing
 	}
 	np := make([]*pkt.Packet, n)
 	for i := 0; i < q.count; i++ {
@@ -130,6 +135,26 @@ func (q *Queue) grow() {
 	q.pkts = np
 	q.head = 0
 }
+
+// maybeShrink halves the ring once a drain leaves it at most quarter
+// full, so long-lived idle ports do not pin one burst's peak ring for
+// the rest of the run. The quarter-fill hysteresis keeps a queue that
+// oscillates around a size from thrashing between grow and shrink.
+func (q *Queue) maybeShrink() {
+	n := len(q.pkts)
+	if n <= minRing || q.count > n/4 {
+		return
+	}
+	np := make([]*pkt.Packet, n/2)
+	for i := 0; i < q.count; i++ {
+		np[i] = q.pkts[(q.head+i)%n]
+	}
+	q.pkts = np
+	q.head = 0
+}
+
+// RingCap returns the current ring allocation (tests, diagnostics).
+func (q *Queue) RingCap() int { return len(q.pkts) }
 
 // RAM is a shared byte pool modelling one port memory (Table I: 64 KB
 // per input port). Queues drawing from it account their packets here;

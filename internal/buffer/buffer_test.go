@@ -204,3 +204,47 @@ func TestQueueInvariantsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRingShrinksAfterDrain(t *testing.T) {
+	q := NewQueue("q", nil)
+	for i := 0; i < 1000; i++ {
+		q.Push(mk(64))
+	}
+	peak := q.RingCap()
+	if peak < 1000 {
+		t.Fatalf("ring cap %d after 1000 pushes", peak)
+	}
+	// Drain to empty: the ring must give the burst allocation back
+	// instead of pinning it for the rest of the run.
+	var popped int
+	for q.Pop() != nil {
+		popped++
+	}
+	if popped != 1000 {
+		t.Fatalf("popped %d packets, want 1000", popped)
+	}
+	if got := q.RingCap(); got > peak/8 {
+		t.Errorf("ring cap still %d after full drain (peak %d)", got, peak)
+	}
+	// FIFO behaviour must survive shrinking mid-stream.
+	var g pkt.IDGen
+	var want []uint64
+	for i := 0; i < 300; i++ {
+		p := pkt.NewData(&g, 0, 1, 0, 64, 0)
+		want = append(want, p.ID)
+		q.Push(p)
+	}
+	for i := 0; i < 250; i++ {
+		if p := q.Pop(); p.ID != want[i] {
+			t.Fatalf("pop %d: got id %d, want %d", i, p.ID, want[i])
+		}
+	}
+	if q.RingCap() >= 512 {
+		t.Errorf("ring cap %d with 50 packets left", q.RingCap())
+	}
+	for i := 250; i < 300; i++ {
+		if p := q.Pop(); p.ID != want[i] {
+			t.Fatalf("pop %d: got id %d, want %d", i, p.ID, want[i])
+		}
+	}
+}

@@ -347,6 +347,14 @@ func (u *IsolationUnit) DemoteRoot(out int, dests []int) {
 // UsedBytes returns the RAM occupancy.
 func (u *IsolationUnit) UsedBytes() int { return u.ram.Used() }
 
+// Quiescent reports whether Post/Update ticks can be skipped: beyond an
+// empty RAM this requires every CAM line freed, because an allocated
+// line still needs Update ticks to run its hold-down deallocation (and
+// the upstream CFQDealloc that goes with it).
+func (u *IsolationUnit) Quiescent() bool {
+	return u.ram.Used() == 0 && u.cam.FreeLines() == len(u.cfqs)
+}
+
 // Capacity returns the RAM size.
 func (u *IsolationUnit) Capacity() int { return u.ram.Capacity() }
 

@@ -83,6 +83,11 @@ type QDisc interface {
 	Update(now sim.Cycle)
 	// UsedBytes returns the RAM occupancy.
 	UsedBytes() int
+	// Quiescent reports whether skipping this discipline's Post/Update
+	// ticks would be a no-op: no buffered bytes and no deferred
+	// housekeeping (allocated CAM lines awaiting hold-down, congestion
+	// state left to clear). Hosts use it to sleep idle ports.
+	Quiescent() bool
 	// Capacity returns the RAM size in bytes.
 	Capacity() int
 	// QueueCount returns the number of queues (diagnostics).
@@ -144,6 +149,7 @@ func (d *oneQ) Pop(qid int) *pkt.Packet {
 	return d.q.Pop()
 }
 func (d *oneQ) Update(sim.Cycle)  {}
+func (d *oneQ) Quiescent() bool   { return d.ram.Used() == 0 }
 func (d *oneQ) UsedBytes() int    { return d.ram.Used() }
 func (d *oneQ) Capacity() int     { return d.ram.Capacity() }
 func (d *oneQ) QueueCount() int   { return 1 }
@@ -205,6 +211,20 @@ func (d *voqSw) Update(sim.Cycle) {
 			d.env.MarkCrossed(i, false)
 		}
 	}
+}
+
+// Quiescent additionally requires every High/Low flag to be clear: a
+// still-set flag means the next Update must issue MarkCrossed(false).
+func (d *voqSw) Quiescent() bool {
+	if d.ram.Used() != 0 {
+		return false
+	}
+	for _, over := range d.overHigh {
+		if over {
+			return false
+		}
+	}
+	return true
 }
 func (d *voqSw) UsedBytes() int    { return d.ram.Used() }
 func (d *voqSw) Capacity() int     { return d.ram.Capacity() }
@@ -328,12 +348,14 @@ func (d *obqa) Requests(_ sim.Cycle, emit func(Request)) {
 }
 func (d *obqa) Pop(qid int) *pkt.Packet { return d.qs[qid].Pop() }
 func (d *obqa) Update(sim.Cycle)        {}
+func (d *obqa) Quiescent() bool         { return d.ram.Used() == 0 }
 func (d *obqa) UsedBytes() int          { return d.ram.Used() }
 func (d *obqa) Capacity() int           { return d.ram.Capacity() }
 func (d *obqa) QueueCount() int         { return len(d.qs) }
 func (d *obqa) Stats() *DiscStats       { return &d.stats }
 
 func (d *voqNet) Update(sim.Cycle)  {}
+func (d *voqNet) Quiescent() bool   { return d.ram.Used() == 0 }
 func (d *voqNet) UsedBytes() int    { return d.ram.Used() }
 func (d *voqNet) Capacity() int     { return d.ram.Capacity() }
 func (d *voqNet) QueueCount() int   { return len(d.qs) }
@@ -376,6 +398,7 @@ func (d *dbbm) Requests(_ sim.Cycle, emit func(Request)) {
 }
 func (d *dbbm) Pop(qid int) *pkt.Packet { return d.qs[qid].Pop() }
 func (d *dbbm) Update(sim.Cycle)        {}
+func (d *dbbm) Quiescent() bool         { return d.ram.Used() == 0 }
 func (d *dbbm) UsedBytes() int          { return d.ram.Used() }
 func (d *dbbm) Capacity() int           { return d.ram.Capacity() }
 func (d *dbbm) QueueCount() int         { return len(d.qs) }

@@ -42,6 +42,7 @@ type Node struct {
 	id           int
 	numEndpoints int
 	ids          *pkt.IDGen
+	pool         *pkt.Pool // packet free-list (nil = plain allocation)
 
 	// Injection side.
 	advoqs    []*buffer.Queue
@@ -52,9 +53,14 @@ type Node struct {
 	tx        *link.Half
 	credits   *core.CreditPool
 	outCAM    *core.OutCAM
-	pending   []*pkt.Packet // BECNs awaiting output-buffer space
-	lastBECN  []sim.Cycle   // per source: last BECN sent (pacing)
-	occupied  int           // AdVOQs currently holding packets
+	pending   []*pkt.Packet  // BECNs awaiting output-buffer space
+	lastBECN  []sim.Cycle    // per source: last BECN sent (pacing)
+	occupied  int            // AdVOQs currently holding packets
+	reqs      []core.Request // per-cycle arbitration scratch
+
+	// Tick handles: the node sleeps (is skipped by the engine) while it
+	// provably has nothing to do — no queued packets, no pending BECNs.
+	hPost, hArb, hUpd *sim.TickerHandle
 
 	// Stable parameter copies the output-buffer discipline points at
 	// (the IA RAM size differs from the switch PortRAM).
@@ -65,15 +71,17 @@ type Node struct {
 	stats     Stats
 }
 
-// New builds a node. ids must be the network-wide packet id generator.
+// New builds a node. ids must be the network-wide packet id generator;
+// pool is the network's packet free-list (nil to allocate plainly).
 // Wiring (AttachLink) happens afterwards.
-func New(eng *sim.Engine, id int, p *core.Params, numEndpoints int, ids *pkt.IDGen) *Node {
+func New(eng *sim.Engine, id int, p *core.Params, numEndpoints int, ids *pkt.IDGen, pool *pkt.Pool) *Node {
 	n := &Node{
 		eng:          eng,
 		p:            p,
 		id:           id,
 		numEndpoints: numEndpoints,
 		ids:          ids,
+		pool:         pool,
 		advoqs:       make([]*buffer.Queue, numEndpoints),
 		advoqRR:      arbiter.NewRoundRobin(numEndpoints),
 		outCAM:       core.NewOutCAM(p.NumCFQs),
@@ -107,10 +115,17 @@ func New(eng *sim.Engine, id int, p *core.Params, numEndpoints int, ids *pkt.IDG
 		n.throttler = core.NewThrottler(eng, p, numEndpoints)
 		n.throttler.SetTraceLabel(fmt.Sprintf("node%d", id))
 	}
-	eng.Register(sim.PhasePost, n.post)
-	eng.Register(sim.PhaseArbitrate, n.arbitrate)
-	eng.Register(sim.PhaseUpdate, n.update)
+	n.hPost = eng.AddTicker(sim.PhasePost, sim.TickerFunc(n.post))
+	n.hArb = eng.AddTicker(sim.PhaseArbitrate, sim.TickerFunc(n.arbitrate))
+	n.hUpd = eng.AddTicker(sim.PhaseUpdate, sim.TickerFunc(n.update))
 	return n
+}
+
+// wake puts the node back on the engine's active lists (idempotent).
+func (n *Node) wake() {
+	n.hPost.Wake()
+	n.hArb.Wake()
+	n.hUpd.Wake()
 }
 
 // ID returns the endpoint id.
@@ -156,6 +171,7 @@ func (n *Node) Offer(p *pkt.Packet) bool {
 	q.Push(p)
 	n.stats.Offered++
 	n.stats.OfferedBytes += p.Size
+	n.wake()
 	return true
 }
 
@@ -245,12 +261,13 @@ func (n *Node) arbitrate(now sim.Cycle) {
 	if n.tx == nil || !n.tx.Free(now) || n.disc.UsedBytes() == 0 {
 		return
 	}
-	var reqs []core.Request
+	reqs := n.reqs[:0]
 	n.disc.Requests(now, func(r core.Request) {
 		if r.Pkt.Size <= n.credits.Avail(r.Pkt.Dst) {
 			reqs = append(reqs, r)
 		}
 	})
+	n.reqs = reqs[:0]
 	if len(reqs) == 0 {
 		return
 	}
@@ -273,9 +290,17 @@ func (n *Node) arbitrate(now sim.Cycle) {
 	n.stats.SentBytes += p.Size
 }
 
-// update runs the output buffer housekeeping.
+// update runs the output buffer housekeeping, then sleeps the node when
+// it is provably idle: no staged AdVOQ packets, no pending BECNs, and an
+// empty, fully deallocated output buffer. Every admission path (Offer,
+// BECN generation) wakes it again.
 func (n *Node) update(now sim.Cycle) {
 	n.disc.Update(now)
+	if n.occupied == 0 && len(n.pending) == 0 && n.disc.Quiescent() {
+		n.hPost.Sleep()
+		n.hArb.Sleep()
+		n.hUpd.Sleep()
+	}
 }
 
 // ReceivePacket implements link.PacketReceiver: the sink. Packets are
@@ -291,6 +316,7 @@ func (n *Node) ReceivePacket(p *pkt.Packet, _ int) {
 		if n.throttler != nil {
 			n.throttler.OnBECN(p.CongDst)
 		}
+		n.pool.Release(p) // BECN consumed: nothing downstream holds it
 		return
 	}
 	if p.Dst != n.id {
@@ -302,13 +328,15 @@ func (n *Node) ReceivePacket(p *pkt.Packet, _ int) {
 	if p.FECN {
 		n.stats.FECNSeen++
 		if n.p.ThrottlingEnabled && n.becnDue(p.Src, now) {
-			n.pending = append(n.pending, pkt.NewBECN(n.ids, n.id, p.Src, n.id, now))
+			n.pending = append(n.pending, n.pool.NewBECN(n.ids, n.id, p.Src, n.id, now))
 			n.stats.BECNsSent++
+			n.wake() // the pending BECN needs post ticks to drain
 		}
 	}
 	if n.onDeliver != nil {
 		n.onDeliver(p, now)
 	}
+	n.pool.Release(p) // sunk: metrics hook above was the last reader
 }
 
 // becnDue applies BECN pacing: at most one notification per source per

@@ -25,7 +25,7 @@ func rig(t *testing.T, p core.Params) (*sim.Engine, *Node, *wire, *pkt.IDGen) {
 	t.Helper()
 	eng := sim.NewEngine(3)
 	ids := &pkt.IDGen{}
-	n := New(eng, 0, &p, 8, ids)
+	n := New(eng, 0, &p, 8, ids, nil)
 	w := &wire{eng: eng}
 	tx := link.NewHalf(eng, "up", 64, 2)
 	tx.SetReceivers(w, w)
@@ -38,7 +38,7 @@ func TestOfferAndAdVOQCap(t *testing.T) {
 	p.AdVOQCap = 2
 	eng := sim.NewEngine(1)
 	ids := &pkt.IDGen{}
-	n := New(eng, 0, &p, 8, ids)
+	n := New(eng, 0, &p, 8, ids, nil)
 	for i := 0; i < 2; i++ {
 		if !n.Offer(pkt.NewData(ids, 0, 3, 0, pkt.MTU, 0)) {
 			t.Fatalf("offer %d rejected below cap", i)
@@ -59,7 +59,7 @@ func TestOfferBadDestinationPanics(t *testing.T) {
 	p := core.PresetCCFIT()
 	eng := sim.NewEngine(1)
 	ids := &pkt.IDGen{}
-	n := New(eng, 0, &p, 8, ids)
+	n := New(eng, 0, &p, 8, ids, nil)
 	for _, dst := range []int{-1, 8, 0 /* self */} {
 		func() {
 			defer func() {
@@ -94,7 +94,7 @@ func TestCreditGateBlocksInjection(t *testing.T) {
 	eng := sim.NewEngine(3)
 	ids := &pkt.IDGen{}
 	p := core.Preset1Q()
-	n := New(eng, 0, &p, 8, ids)
+	n := New(eng, 0, &p, 8, ids, nil)
 	w := &wire{eng: eng}
 	tx := link.NewHalf(eng, "up", 64, 2)
 	tx.SetReceivers(w, w)
@@ -283,7 +283,7 @@ func TestVOQnetIAUsesPerDestQueues(t *testing.T) {
 	p := core.PresetVOQnet()
 	eng := sim.NewEngine(1)
 	ids := &pkt.IDGen{}
-	n := New(eng, 0, &p, 8, ids)
+	n := New(eng, 0, &p, 8, ids, nil)
 	if _, ok := n.Disc().(core.DestOccupancy); !ok {
 		t.Fatal("VOQnet IA output buffer lacks per-destination queues")
 	}

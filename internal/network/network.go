@@ -44,6 +44,7 @@ type Network struct {
 	Gen       *traffic.Generator
 
 	ids     pkt.IDGen
+	pool    pkt.Pool // per-network packet free-list (single-goroutine)
 	byDev   map[int]*switchfab.Switch
 	linkBPC []int // injection bandwidth per endpoint
 	halves  []*link.Half
@@ -90,7 +91,7 @@ func Build(t *topo.Topology, p core.Params, opt Options) (*Network, error) {
 	// Devices.
 	n.Nodes = make([]*endnode.Node, ne)
 	for e := 0; e < ne; e++ {
-		node := endnode.New(eng, e, &n.Params, ne, &n.ids)
+		node := endnode.New(eng, e, &n.Params, ne, &n.ids, &n.pool)
 		node.SetDeliverHook(n.Collector.Delivered)
 		n.Nodes[e] = node
 	}
@@ -183,7 +184,7 @@ func (n *Network) AddFlows(flows []traffic.Flow) error {
 	if n.Gen != nil {
 		return fmt.Errorf("network: flows already installed")
 	}
-	gen, err := traffic.NewGenerator(n.Eng, n.Nodes, n.linkBPC, flows, &n.ids, n.Collector.Injected)
+	gen, err := traffic.NewGenerator(n.Eng, n.Nodes, n.linkBPC, flows, &n.ids, &n.pool, n.Collector.Injected)
 	if err != nil {
 		return err
 	}
@@ -220,7 +221,7 @@ func (n *Network) LinkLoads() []LinkLoad {
 // timestamped now — for tools and tests that inject traffic outside
 // the Generator.
 func (n *Network) NewPacket(src, dst, flow int) *pkt.Packet {
-	return pkt.NewData(&n.ids, src, dst, flow, pkt.MTU, n.Eng.Now())
+	return n.pool.NewData(&n.ids, src, dst, flow, pkt.MTU, n.Eng.Now())
 }
 
 // Run advances the simulation by d cycles.

@@ -89,3 +89,62 @@ func TestIDGenMonotonicProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPoolReuseAndScrub(t *testing.T) {
+	var pl Pool
+	var g IDGen
+	p1 := pl.NewData(&g, 0, 3, 7, 512, 100)
+	if pl.Allocs != 1 || pl.Reuses != 0 {
+		t.Fatalf("Allocs=%d Reuses=%d after first get", pl.Allocs, pl.Reuses)
+	}
+	p1.FECN = true
+	p1.Delivered = 200
+	pl.Release(p1)
+	if pl.FreeLen() != 1 || pl.Releases != 1 {
+		t.Fatalf("FreeLen=%d Releases=%d after release", pl.FreeLen(), pl.Releases)
+	}
+	if (*p1 != Packet{}) {
+		t.Fatalf("released packet not scrubbed: %+v", *p1)
+	}
+	p2 := pl.NewBECN(&g, 3, 0, 3, 300)
+	if p2 != p1 {
+		t.Fatal("free-list did not reuse the released packet")
+	}
+	if pl.Reuses != 1 || pl.FreeLen() != 0 {
+		t.Fatalf("Reuses=%d FreeLen=%d after reuse", pl.Reuses, pl.FreeLen())
+	}
+	if p2.Kind != BECN || p2.ID != 2 || p2.FECN || p2.Delivered != 0 {
+		t.Fatalf("reused packet carries stale state: %+v", *p2)
+	}
+}
+
+func TestPoolNilSafe(t *testing.T) {
+	var pl *Pool
+	var g IDGen
+	p := pl.NewData(&g, 0, 1, 0, 64, 0)
+	if p == nil || p.ID != 1 {
+		t.Fatalf("nil pool NewData = %+v", p)
+	}
+	pl.Release(p) // must not panic
+	pl.Release(nil)
+	if pl.FreeLen() != 0 {
+		t.Fatal("nil pool reports free packets")
+	}
+}
+
+func TestPoolLIFOOrder(t *testing.T) {
+	// Reuse order is part of the deterministic schedule: last released,
+	// first reused.
+	var pl Pool
+	var g IDGen
+	a := pl.NewData(&g, 0, 1, 0, 64, 0)
+	b := pl.NewData(&g, 0, 1, 0, 64, 0)
+	pl.Release(a)
+	pl.Release(b)
+	if got := pl.NewData(&g, 0, 1, 0, 64, 0); got != b {
+		t.Fatal("expected LIFO reuse: last released packet first")
+	}
+	if got := pl.NewData(&g, 0, 1, 0, 64, 0); got != a {
+		t.Fatal("expected LIFO reuse: first released packet second")
+	}
+}

@@ -1,7 +1,7 @@
 // Package sim provides the cycle-level simulation engine used by every
 // other component of the CCFIT reproduction: a deterministic clock, an
-// event heap for scheduled callbacks, phased per-cycle ticking, and
-// seeded random-number streams.
+// event heap for scheduled callbacks, phased per-cycle ticking with
+// wake/sleep component elision, and seeded random-number streams.
 //
 // One cycle is the time needed to move one flit (FlitBytes bytes) across
 // a baseline 2.5 GB/s link, i.e. 25.6 ns. All latencies, bandwidths and
@@ -10,9 +10,9 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 )
 
@@ -75,23 +75,114 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the strict total order on events: cycle first, then
+// scheduling order. Because (at, seq) pairs are unique, any correct
+// heap pops events in exactly one order — the engine's firing order is
+// independent of the heap's internal layout.
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+// Ticker is a component that does per-cycle work in one phase. Tickers
+// register with AddTicker and are called once per cycle, in registration
+// order, while awake; a sleeping ticker is skipped entirely. Components
+// must only sleep when their tick would be a no-op, so that eliding it
+// cannot change simulated outcomes.
+type Ticker interface {
+	Tick(now Cycle)
+}
+
+// TickerFunc adapts a plain function to the Ticker interface.
+type TickerFunc func(Cycle)
+
+// Tick implements Ticker.
+func (f TickerFunc) Tick(now Cycle) { f(now) }
+
+// TickerHandle controls one registration's membership of its phase's
+// active list. Wake and Sleep are idempotent and O(1); components call
+// them on work-arrival and provably-idle transitions.
+type TickerHandle struct {
+	e   *Engine
+	p   Phase
+	idx int
+}
+
+// Wake adds the ticker to its phase's active list (no-op when awake).
+func (h *TickerHandle) Wake() {
+	l := &h.e.phases[h.p]
+	w, b := h.idx>>6, uint64(1)<<(h.idx&63)
+	if l.bits[w]&b == 0 {
+		l.bits[w] |= b
+		l.awake++
+		h.e.awake++
+	}
+}
+
+// Sleep removes the ticker from its phase's active list (no-op when
+// already sleeping).
+func (h *TickerHandle) Sleep() {
+	l := &h.e.phases[h.p]
+	w, b := h.idx>>6, uint64(1)<<(h.idx&63)
+	if l.bits[w]&b != 0 {
+		l.bits[w] &^= b
+		l.awake--
+		h.e.awake--
+	}
+}
+
+// Awake reports whether the ticker is on the active list.
+func (h *TickerHandle) Awake() bool {
+	l := &h.e.phases[h.p]
+	return l.bits[h.idx>>6]&(uint64(1)<<(h.idx&63)) != 0
+}
+
+// tickList is one phase's registered tickers plus the active-list
+// bitmap. The bitmap is indexed by registration order, so iterating set
+// bits low-to-high preserves the deterministic tick order of a dense
+// every-cycle fan-out.
+type tickList struct {
+	tickers []Ticker
+	bits    []uint64
+	awake   int
+}
+
+func (l *tickList) add(t Ticker) int {
+	idx := len(l.tickers)
+	l.tickers = append(l.tickers, t)
+	if idx>>6 >= len(l.bits) {
+		l.bits = append(l.bits, 0)
+	}
+	return idx
+}
+
+// tick runs every awake ticker in registration order. The bitmap is
+// re-read as iteration advances so a ticker woken mid-phase at a LATER
+// index still runs this cycle (exactly as it would have under the dense
+// fan-out), while wakes at already-passed indices wait for the next
+// cycle (as they would have: each callback runs at most once per phase).
+func (l *tickList) tick(now Cycle) {
+	if l.awake == 0 {
+		return
+	}
+	for w := range l.bits {
+		mask := ^uint64(0)
+		for {
+			set := l.bits[w] & mask
+			if set == 0 {
+				break
+			}
+			b := bits.TrailingZeros64(set)
+			if b == 63 {
+				mask = 0
+			} else {
+				mask = ^uint64(0) << (b + 1)
+			}
+			l.tickers[w<<6|b].Tick(now)
+		}
+	}
 }
 
 // Engine drives the simulation. It is not safe for concurrent use; the
@@ -99,9 +190,10 @@ func (h *eventHeap) Pop() any {
 // reproducible from a seed.
 type Engine struct {
 	now    Cycle
-	events eventHeap
+	events []event // binary min-heap ordered by (at, seq)
 	seq    uint64
-	phases [numPhases][]func(Cycle)
+	phases [numPhases]tickList
+	awake  int // total awake tickers across all phases
 	seed   int64
 	rngSeq int64
 }
@@ -132,38 +224,111 @@ func (e *Engine) At(c Cycle, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at cycle %d in the past (now %d)", c, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: c, seq: e.seq, fn: fn})
+	e.pushEvent(event{at: c, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Cycle, fn func()) { e.At(e.now+d, fn) }
 
-// Register adds a per-cycle callback for the given phase. Callbacks run
-// every cycle in registration order.
-func (e *Engine) Register(p Phase, fn func(Cycle)) {
+// pushEvent sifts a new event up a hand-rolled monomorphic heap. Unlike
+// container/heap this never boxes the event into an interface, so the
+// only allocation on the scheduling hot path is the caller's closure.
+func (e *Engine) pushEvent(ev event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h[i].before(h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.events = h
+}
+
+// popEvent removes and returns the earliest event's callback.
+func (e *Engine) popEvent() func() {
+	h := e.events
+	fn := h[0].fn
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop the closure reference for the GC
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r].before(h[l]) {
+			m = r
+		}
+		if !h[m].before(h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	e.events = h
+	return fn
+}
+
+// AddTicker registers t for per-cycle ticks in phase p and returns the
+// handle controlling its active-list membership. Tickers start awake.
+func (e *Engine) AddTicker(p Phase, t Ticker) *TickerHandle {
 	if p < 0 || p >= numPhases {
 		panic(fmt.Sprintf("sim: invalid phase %d", p))
 	}
-	e.phases[p] = append(e.phases[p], fn)
+	h := &TickerHandle{e: e, p: p, idx: e.phases[p].add(t)}
+	h.Wake()
+	return h
 }
 
-// Step advances the simulation by exactly one cycle.
+// Register adds a per-cycle callback for the given phase. Callbacks run
+// every cycle in registration order; they never sleep. Components that
+// can go idle should use AddTicker and manage their handle instead.
+func (e *Engine) Register(p Phase, fn func(Cycle)) {
+	e.AddTicker(p, TickerFunc(fn))
+}
+
+// ActiveTickers returns the number of awake tickers across all phases
+// (diagnostics and tests; zero means Run may fast-forward).
+func (e *Engine) ActiveTickers() int { return e.awake }
+
+// Step advances the simulation by exactly one cycle: fire all events
+// due at the current cycle (including cascades scheduled for the same
+// cycle from within an event), then tick every awake component phase by
+// phase.
 func (e *Engine) Step() {
 	for len(e.events) > 0 && e.events[0].at <= e.now {
-		ev := heap.Pop(&e.events).(event)
-		ev.fn()
+		e.popEvent()()
 	}
-	for p := Phase(0); p < numPhases; p++ {
-		for _, fn := range e.phases[p] {
-			fn(e.now)
+	if e.awake > 0 {
+		for p := range e.phases {
+			e.phases[p].tick(e.now)
 		}
 	}
 	e.now++
 }
 
 // Run advances the simulation until (and excluding) cycle `until`.
+// While every ticker sleeps, whole cycles are provably no-ops, so the
+// clock fast-forwards straight to the next scheduled event (or to
+// `until`) instead of stepping through them.
 func (e *Engine) Run(until Cycle) {
 	for e.now < until {
+		if e.awake == 0 && (len(e.events) == 0 || e.events[0].at > e.now) {
+			next := until
+			if len(e.events) > 0 && e.events[0].at < next {
+				next = e.events[0].at
+			}
+			if next > e.now {
+				e.now = next
+				continue
+			}
+		}
 		e.Step()
 	}
 }

@@ -46,6 +46,15 @@ type Switch struct {
 	// per-cycle scratch: candidate request per (input, output)
 	cand [][]core.Request
 	has  [][]bool
+
+	// iSLIP request/priority predicates over cand/has, built once so
+	// arbitration does not allocate two closures per cycle.
+	matchHas, matchPrio func(i, o int) bool
+
+	// Tick handles: the switch sleeps while every input discipline is
+	// quiescent and every output stage is empty (nothing queued, nothing
+	// crossing the crossbar, no CAM housekeeping pending).
+	hPost, hArb, hUpd *sim.TickerHandle
 }
 
 type inPort struct {
@@ -126,10 +135,37 @@ func New(eng *sim.Engine, id int, name string, nports int, p *core.Params, route
 		s.cand[i] = make([]core.Request, nports)
 		s.has[i] = make([]bool, nports)
 	}
-	eng.Register(sim.PhasePost, s.post)
-	eng.Register(sim.PhaseArbitrate, s.arbitrate)
-	eng.Register(sim.PhaseUpdate, s.update)
+	s.matchHas = func(i, o int) bool { return s.has[i][o] }
+	s.matchPrio = func(i, o int) bool { return s.has[i][o] && s.cand[i][o].Priority }
+	s.hPost = eng.AddTicker(sim.PhasePost, sim.TickerFunc(s.post))
+	s.hArb = eng.AddTicker(sim.PhaseArbitrate, sim.TickerFunc(s.arbitrate))
+	s.hUpd = eng.AddTicker(sim.PhaseUpdate, sim.TickerFunc(s.update))
 	return s
+}
+
+// wake puts the switch back on the engine's active lists (idempotent).
+func (s *Switch) wake() {
+	s.hPost.Wake()
+	s.hArb.Wake()
+	s.hUpd.Wake()
+}
+
+// idle reports whether every tick would be a no-op: all input
+// disciplines quiescent, no staged or in-flight crossbar transfers.
+// Credit and CAM control arrivals are handled inline by ReceiveControl
+// and need no ticks, so they do not keep a switch awake.
+func (s *Switch) idle() bool {
+	for _, op := range s.out {
+		if len(op.stage) > 0 || op.inflight > 0 {
+			return false
+		}
+	}
+	for _, ip := range s.in {
+		if !ip.disc.Quiescent() {
+			return false
+		}
+	}
+	return true
 }
 
 // ID returns the switch's device id.
@@ -181,10 +217,16 @@ func (s *Switch) post(now sim.Cycle) {
 	}
 }
 
-// update runs the per-port housekeeping phase.
+// update runs the per-port housekeeping phase, then sleeps the switch
+// when it is provably idle; packet arrivals wake it again.
 func (s *Switch) update(now sim.Cycle) {
 	for _, ip := range s.in {
 		ip.disc.Update(now)
+	}
+	if s.idle() {
+		s.hPost.Sleep()
+		s.hArb.Sleep()
+		s.hUpd.Sleep()
 	}
 }
 
@@ -226,10 +268,7 @@ func (s *Switch) arbitrate(now sim.Cycle) {
 	if !anyReq {
 		return
 	}
-	match := s.islip.Match(
-		func(i, o int) bool { return s.has[i][o] },
-		func(i, o int) bool { return s.has[i][o] && s.cand[i][o].Priority },
-	)
+	match := s.islip.Match(s.matchHas, s.matchPrio)
 	for i, o := range match {
 		if o == -1 {
 			continue
@@ -285,6 +324,7 @@ func (s *Switch) start(now sim.Cycle, ip *inPort, op *outPort, r core.Request) {
 	s.eng.At(now+xfer, func() {
 		op.inflight--
 		op.stage = append(op.stage, staged{p: p, cfq: cfq})
+		s.wake() // defensive: the staged packet needs drain ticks
 	})
 	s.stats.Forwarded++
 	s.stats.ForwardedBytes += p.Size
@@ -297,6 +337,7 @@ func (s *Switch) start(now sim.Cycle, ip *inPort, op *outPort, r core.Request) {
 
 // ReceivePacket implements link.PacketReceiver for an input port.
 func (ip *inPort) ReceivePacket(p *pkt.Packet, cfq int) {
+	ip.s.wake()
 	ip.disc.Enqueue(p, cfq)
 }
 

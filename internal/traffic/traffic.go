@@ -43,8 +43,12 @@ type Generator struct {
 	eng   *sim.Engine
 	nodes []*endnode.Node
 	ids   *pkt.IDGen
-	bpc   []int // injection-link bytes/cycle per source node
+	pool  *pkt.Pool // packet free-list (nil = plain allocation)
+	bpc   []int     // injection-link bytes/cycle per source node
 	hook  InjectHook
+
+	// handle sleeps the generator between flow activation windows.
+	handle *sim.TickerHandle
 
 	flows []flowState
 }
@@ -57,12 +61,13 @@ type flowState struct {
 
 // NewGenerator builds a generator and registers it with the engine's
 // injection phase. nodeBPC gives each endpoint's injection-link
-// bandwidth in bytes/cycle.
-func NewGenerator(eng *sim.Engine, nodes []*endnode.Node, nodeBPC []int, flows []Flow, ids *pkt.IDGen, hook InjectHook) (*Generator, error) {
+// bandwidth in bytes/cycle; pool is the network's packet free-list
+// (nil to allocate plainly).
+func NewGenerator(eng *sim.Engine, nodes []*endnode.Node, nodeBPC []int, flows []Flow, ids *pkt.IDGen, pool *pkt.Pool, hook InjectHook) (*Generator, error) {
 	if len(nodes) != len(nodeBPC) {
 		return nil, fmt.Errorf("traffic: %d nodes but %d bandwidths", len(nodes), len(nodeBPC))
 	}
-	g := &Generator{eng: eng, nodes: nodes, ids: ids, bpc: nodeBPC, hook: hook}
+	g := &Generator{eng: eng, nodes: nodes, ids: ids, pool: pool, bpc: nodeBPC, hook: hook}
 	for _, f := range flows {
 		if f.PktSize == 0 {
 			f.PktSize = pkt.MTU
@@ -76,7 +81,7 @@ func NewGenerator(eng *sim.Engine, nodes []*endnode.Node, nodeBPC []int, flows [
 		}
 		g.flows = append(g.flows, fs)
 	}
-	eng.Register(sim.PhaseInject, g.inject)
+	g.handle = eng.AddTicker(sim.PhaseInject, sim.TickerFunc(g.inject))
 	return g, nil
 }
 
@@ -122,8 +127,9 @@ func (g *Generator) inject(now sim.Cycle) {
 					dst++
 				}
 			}
-			p := pkt.NewData(g.ids, f.Src, dst, f.ID, f.PktSize, now)
+			p := g.pool.NewData(g.ids, f.Src, dst, f.ID, f.PktSize, now)
 			if !g.nodes[f.Src].Offer(p) {
+				g.pool.Release(p)
 				break // source stall: retry next cycle
 			}
 			f.acc -= float64(f.PktSize)
@@ -132,6 +138,37 @@ func (g *Generator) inject(now sim.Cycle) {
 			}
 		}
 	}
+	// Between activation windows every tick is a no-op (window checks
+	// touch no state), so sleep and arm a wake event at the next window
+	// opening; with no window left, sleep for good.
+	if !g.anyActive(now) {
+		g.handle.Sleep()
+		if next, ok := g.nextStart(now); ok {
+			g.eng.At(next, g.handle.Wake)
+		}
+	}
+}
+
+// anyActive reports whether some flow's window covers `now`.
+func (g *Generator) anyActive(now sim.Cycle) bool {
+	for i := range g.flows {
+		if now >= g.flows[i].Start && now < g.flows[i].End {
+			return true
+		}
+	}
+	return false
+}
+
+// nextStart returns the earliest window opening strictly after `now`.
+func (g *Generator) nextStart(now sim.Cycle) (sim.Cycle, bool) {
+	var next sim.Cycle
+	found := false
+	for i := range g.flows {
+		if s := g.flows[i].Start; s > now && (!found || s < next) {
+			next, found = s, true
+		}
+	}
+	return next, found
 }
 
 // FlowIDs returns the configured flow ids in order.

@@ -19,14 +19,14 @@ func rig(t *testing.T, nodes int, flows []Flow) (*sim.Engine, []*endnode.Node, *
 	p.AdVOQCap = 1 << 20 // effectively unbounded for rate tests
 	ns := make([]*endnode.Node, nodes)
 	for i := range ns {
-		ns[i] = endnode.New(eng, i, &p, nodes, ids)
+		ns[i] = endnode.New(eng, i, &p, nodes, ids, nil)
 	}
 	bpc := make([]int, nodes)
 	for i := range bpc {
 		bpc[i] = 64
 	}
 	var injected []*pkt.Packet
-	g, err := NewGenerator(eng, ns, bpc, flows, ids, func(p *pkt.Packet) {
+	g, err := NewGenerator(eng, ns, bpc, flows, ids, nil, func(p *pkt.Packet) {
 		injected = append(injected, p)
 	})
 	if err != nil {
@@ -117,13 +117,13 @@ func TestSourceStallDoesNotBankDebt(t *testing.T) {
 	p := core.Preset1Q()
 	p.AdVOQCap = 4
 	nodes := []*endnode.Node{
-		endnode.New(eng, 0, &p, 2, ids),
-		endnode.New(eng, 1, &p, 2, ids),
+		endnode.New(eng, 0, &p, 2, ids, nil),
+		endnode.New(eng, 1, &p, 2, ids, nil),
 	}
 	var injected []*pkt.Packet
 	_, err := NewGenerator(eng, nodes, []int{64, 64}, []Flow{
 		{ID: 0, Src: 0, Dst: 1, Start: 0, End: 100000, Rate: 1.0},
-	}, ids, func(q *pkt.Packet) { injected = append(injected, q) })
+	}, ids, nil, func(q *pkt.Packet) { injected = append(injected, q) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,17 +153,17 @@ func TestValidation(t *testing.T) {
 	ids := &pkt.IDGen{}
 	p := core.Preset1Q()
 	nodes := []*endnode.Node{
-		endnode.New(eng, 0, &p, 4, ids), endnode.New(eng, 1, &p, 4, ids),
-		endnode.New(eng, 2, &p, 4, ids), endnode.New(eng, 3, &p, 4, ids),
+		endnode.New(eng, 0, &p, 4, ids, nil), endnode.New(eng, 1, &p, 4, ids, nil),
+		endnode.New(eng, 2, &p, 4, ids, nil), endnode.New(eng, 3, &p, 4, ids, nil),
 	}
 	bpc := []int{64, 64, 64, 64}
 	for name, f := range cases {
-		if _, err := NewGenerator(sim.NewEngine(1), nodes, bpc, []Flow{f}, ids, nil); err == nil {
+		if _, err := NewGenerator(sim.NewEngine(1), nodes, bpc, []Flow{f}, ids, nil, nil); err == nil {
 			t.Fatalf("%s: accepted", name)
 		}
 	}
 	_ = eng
-	if _, err := NewGenerator(sim.NewEngine(1), nodes, []int{64}, nil, ids, nil); err == nil {
+	if _, err := NewGenerator(sim.NewEngine(1), nodes, []int{64}, nil, ids, nil, nil); err == nil {
 		t.Fatal("mismatched bpc accepted")
 	}
 }
