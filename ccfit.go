@@ -40,6 +40,8 @@ package ccfit
 import (
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/invariant"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/route"
@@ -73,6 +75,15 @@ type (
 	Experiment = experiments.Experiment
 	// Result is one (experiment, scheme) run outcome.
 	Result = experiments.Result
+	// FaultScript is a deterministic, replayable fault scenario
+	// (scripted link flaps, degrades, control-channel tampering,
+	// switch stalls, node pauses); inject with Network.InjectFaults.
+	FaultScript = fault.Script
+	// FaultEvent is one scripted fault.
+	FaultEvent = fault.Event
+	// InvariantViolation is a failed runtime invariant (conservation,
+	// credit bounds, CAM leak, watchdog) with its diagnostic snapshot.
+	InvariantViolation = invariant.Violation
 )
 
 // UniformDst marks a Flow that draws a fresh random destination for
@@ -127,3 +138,12 @@ func NS(ns float64) Cycle { return sim.CyclesFromNS(ns) }
 // JainIndex computes Jain's fairness index over per-flow bandwidths:
 // 1.0 is perfectly fair, 1/n is maximally unfair.
 func JainIndex(xs []float64) float64 { return metrics.JainIndex(xs) }
+
+// LoadFaultScript reads and validates a JSON fault script (see
+// scripts/faults/ for examples and DESIGN.md for the event grammar).
+func LoadFaultScript(path string) (*FaultScript, error) { return fault.Load(path) }
+
+// IsInvariantViolation reports whether err is (or wraps) a runtime
+// invariant violation — deterministic failures the runner quarantines
+// instead of retrying.
+func IsInvariantViolation(err error) bool { return invariant.IsViolation(err) }

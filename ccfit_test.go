@@ -1,7 +1,10 @@
 package ccfit_test
 
 import (
+	"path/filepath"
+
 	"bytes"
+	"repro/internal/experiments"
 	"strings"
 	"testing"
 
@@ -253,5 +256,32 @@ func TestFacadeTracing(t *testing.T) {
 		if ccfit.FormatTraceEvent(ev) == "" {
 			t.Fatal("empty format")
 		}
+	}
+}
+
+// TestShippedFaultScriptsLoad keeps the example scripts under
+// scripts/faults/ loadable: they are the documented entry point for
+// -faults and a stale field name there would fail only at runtime.
+func TestShippedFaultScriptsLoad(t *testing.T) {
+	paths, err := filepath.Glob("scripts/faults/*.json")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no shipped fault scripts found: %v", err)
+	}
+	byName := map[string]*ccfit.FaultScript{}
+	for _, p := range paths {
+		s, err := ccfit.LoadFaultScript(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		byName[s.Name] = s
+	}
+	// The flap script on disk must stay in lockstep with the xfaultflap
+	// experiment's embedded copy — same scenario, two entry points.
+	disk, ok := byName["config1-root-flap"]
+	if !ok {
+		t.Fatal("config1-root-flap.json missing")
+	}
+	if got, want := disk.Fingerprint(), experiments.RootFlapScript().Fingerprint(); got != want {
+		t.Fatalf("shipped script diverged from xfaultflap:\n disk: %s\n code: %s", got, want)
 	}
 }

@@ -39,6 +39,10 @@ func main() {
 	seeds := flag.Int("seeds", 1, "replications per scheme (seeds seed..seed+N-1); >1 prints mean±sd tables")
 	schemesFlag := flag.String("schemes", "", "comma-separated scheme override (default: each experiment's own set)")
 	timeout := flag.Duration("timeout", 0, "per-job wall-clock timeout (0 = none)")
+	faultsPath := flag.String("faults", "", "inject a deterministic fault script into every job (JSON; see scripts/faults/)")
+	watchdog := flag.Int64("watchdog", 0, "forward-progress watchdog window in cycles (0 = default 262144, -1 = disable)")
+	retries := flag.Int("retries", 0, "retry transient job failures up to N times (invariant violations are never retried)")
+	retryBackoff := flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before the first retry (doubles per attempt)")
 	cacheDir := flag.String("cache", "", "content-addressed result cache directory (empty = caching off)")
 	csvDir := flag.String("csv", "", "also write one CSV per experiment into this directory")
 	manifestPath := flag.String("manifest", "", "write the JSON run manifest here (default: <csv>/manifest.json when -csv is set)")
@@ -82,7 +86,12 @@ func main() {
 		seedList = append(seedList, *seed+int64(i))
 	}
 
-	opt := ccfit.RunOptions{Workers: *workers, Timeout: *timeout}
+	opt := ccfit.RunOptions{
+		Workers:      *workers,
+		Timeout:      *timeout,
+		Retries:      *retries,
+		RetryBackoff: *retryBackoff,
+	}
 	if *cacheDir != "" {
 		cache, err := ccfit.OpenResultCache(*cacheDir)
 		if err != nil {
@@ -106,6 +115,21 @@ func main() {
 	defer stop()
 
 	jobs := ccfit.JobGrid(exps, schemes, seedList)
+	if *faultsPath != "" {
+		script, err := ccfit.LoadFaultScript(*faultsPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ccfit-run: fault script %q: %d event(s)\n", script.Name, len(script.Events))
+		for i := range jobs {
+			jobs[i].Faults = script
+		}
+	}
+	if *watchdog != 0 {
+		for i := range jobs {
+			jobs[i].Watchdog = ccfit.Cycle(*watchdog)
+		}
+	}
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fatal(err)
@@ -195,6 +219,10 @@ func main() {
 	if failed := ccfit.FailedJobs(results); len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "ccfit-run: %d job(s) failed:\n", len(failed))
 		for _, f := range failed {
+			if f.Quarantined {
+				fmt.Fprintf(os.Stderr, "  %s: QUARANTINED (deterministic, not retried): %v\n", f.Job, f.Err)
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "  %s: %v\n", f.Job, f.Err)
 		}
 		os.Exit(1)

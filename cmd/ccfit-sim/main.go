@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,8 @@ func main() {
 	binUS := flag.Float64("bin", 50, "metrics bin width in microseconds")
 	traceFlag := flag.Bool("trace", false, "log congestion-management protocol events to stderr")
 	linksFlag := flag.Int("links", 0, "print the N most-utilized link directions to stderr")
+	faultsPath := flag.String("faults", "", "inject a deterministic fault script (JSON; see scripts/faults/)")
+	watchdog := flag.Int64("watchdog", 0, "forward-progress watchdog window in cycles (0 = default 262144, -1 = disable)")
 	flag.Parse()
 
 	p, err := ccfit.Scheme(*scheme)
@@ -65,7 +68,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	n.Run(end)
+	if *faultsPath != "" {
+		script, err := ccfit.LoadFaultScript(*faultsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := n.InjectFaults(script); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ccfit-sim: fault script %q: %d event(s)\n", script.Name, len(script.Events))
+	}
+	if *watchdog != 0 && n.Checker != nil {
+		n.Checker.SetWatchdogWindow(sim.Cycle(*watchdog))
+	}
+	if err := runWithDiagnostics(n, end); err != nil {
+		fatal(err)
+	}
 
 	bins := int(end / bin)
 	norm := n.Collector.NormalizedSeries(bins)
@@ -102,6 +120,35 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  %-16s %5.1f%%  %8d pkts\n", l.Name, l.Utilization*100, l.Pkts)
 		}
 	}
+}
+
+// runWithDiagnostics runs the simulation under the invariant checker:
+// a violation mid-run (raised as a panic by the always-on checker) or
+// in the terminal audit prints its diagnostic snapshot to stderr and
+// comes back as an error, instead of a bare stack trace or — worse —
+// a plausible-looking CSV from a corrupted run.
+func runWithDiagnostics(n *network.Network, end sim.Cycle) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			v, ok := p.(*ccfit.InvariantViolation)
+			if !ok {
+				panic(p)
+			}
+			fmt.Fprint(os.Stderr, v.Snapshot)
+			err = v
+		}
+	}()
+	n.Run(end)
+	if n.Checker != nil {
+		if verr := n.Checker.Final(); verr != nil {
+			var v *ccfit.InvariantViolation
+			if errors.As(verr, &v) {
+				fmt.Fprint(os.Stderr, v.Snapshot)
+			}
+			return verr
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -11,6 +11,10 @@ import "fmt"
 type CreditPool struct {
 	shared  int
 	perDest []int
+	// capacity is the as-built balance (shared total or per-destination
+	// quota); a balance above it means someone returned credit that was
+	// never taken — the invariant checker's bound.
+	capacity int
 }
 
 // NewSharedCredits returns a single-counter pool of n bytes.
@@ -18,7 +22,7 @@ func NewSharedCredits(n int) *CreditPool {
 	if n <= 0 {
 		panic("core: credit pool must be positive")
 	}
-	return &CreditPool{shared: n}
+	return &CreditPool{shared: n, capacity: n}
 }
 
 // NewPerDestCredits returns a per-destination pool with `each` bytes
@@ -27,11 +31,33 @@ func NewPerDestCredits(numDests, each int) *CreditPool {
 	if numDests <= 0 || each <= 0 {
 		panic("core: per-destination credit pool must be positive")
 	}
-	p := &CreditPool{perDest: make([]int, numDests)}
+	p := &CreditPool{perDest: make([]int, numDests), capacity: each}
 	for i := range p.perDest {
 		p.perDest[i] = each
 	}
 	return p
+}
+
+// Capacity returns the as-built balance (per destination when PerDest).
+func (c *CreditPool) Capacity() int { return c.capacity }
+
+// CheckBounds verifies no balance exceeds the as-built capacity (a
+// balance above capacity means a spurious credit return: the sender
+// would overrun the receiver's RAM and break losslessness). Negative
+// balances cannot occur — Take panics on underflow.
+func (c *CreditPool) CheckBounds() error {
+	if c.perDest != nil {
+		for d, b := range c.perDest {
+			if b > c.capacity {
+				return fmt.Errorf("credit balance for dest %d is %d, exceeds capacity %d", d, b, c.capacity)
+			}
+		}
+		return nil
+	}
+	if c.shared > c.capacity {
+		return fmt.Errorf("shared credit balance %d exceeds capacity %d", c.shared, c.capacity)
+	}
+	return nil
 }
 
 // PerDest reports whether the pool is per-destination.

@@ -58,6 +58,11 @@ type Node struct {
 	occupied  int            // AdVOQs currently holding packets
 	reqs      []core.Request // per-cycle arbitration scratch
 
+	// pausedUntil is the fault injector's injection freeze: while
+	// now < pausedUntil the node sends nothing (the sink keeps
+	// consuming — a paused host still drains its receive side).
+	pausedUntil sim.Cycle
+
 	// Tick handles: the node sleeps (is skipped by the engine) while it
 	// provably has nothing to do — no queued packets, no pending BECNs.
 	hPost, hArb, hUpd *sim.TickerHandle
@@ -178,6 +183,61 @@ func (n *Node) Offer(p *pkt.Packet) bool {
 // AdVOQLen returns the depth of the admittance queue for dest (tests).
 func (n *Node) AdVOQLen(dest int) int { return n.advoqs[dest].Len() }
 
+// Pause freezes the node's transmit side for d cycles from now — the
+// fault model of a hung host. Overlapping pauses extend to the farthest
+// horizon. The sink side keeps consuming and returning credits.
+func (n *Node) Pause(d sim.Cycle) {
+	if until := n.eng.Now() + d; until > n.pausedUntil {
+		n.pausedUntil = until
+	}
+}
+
+// PausedUntil returns the cycle injection resumes (0 = never paused).
+func (n *Node) PausedUntil() sim.Cycle { return n.pausedUntil }
+
+// CreditPool returns the node's uplink credit pool (nil before wiring).
+func (n *Node) CreditPool() *core.CreditPool { return n.credits }
+
+// TxHalf returns the node's transmit direction (nil before wiring).
+func (n *Node) TxHalf() *link.Half { return n.tx }
+
+// BufferedBytes returns every byte the node's injection side holds:
+// AdVOQs, the IA output buffer, and pending BECNs. This is the node's
+// term in the packet-conservation ledger (the sink holds nothing —
+// deliveries are consumed on arrival).
+func (n *Node) BufferedBytes() int {
+	b := n.disc.UsedBytes()
+	for _, q := range n.advoqs {
+		b += q.Bytes()
+	}
+	for _, p := range n.pending {
+		b += p.Size
+	}
+	return b
+}
+
+// DescribeState summarises the node's injection side for diagnostic
+// snapshots: non-empty AdVOQs, output-buffer fill, throttling state.
+func (n *Node) DescribeState(now sim.Cycle) string {
+	s := fmt.Sprintf("node%d:", n.id)
+	if now < n.pausedUntil {
+		s += fmt.Sprintf(" [paused until %d]", n.pausedUntil)
+	}
+	for d, q := range n.advoqs {
+		if q.Len() > 0 {
+			s += fmt.Sprintf(" advoq[%d]=%dp/%dB", d, q.Len(), q.Bytes())
+			if n.throttler != nil && n.throttler.CCTI(d) > 0 {
+				s += fmt.Sprintf("(ccti=%d)", n.throttler.CCTI(d))
+			}
+		}
+	}
+	s += fmt.Sprintf(" out=%dB pendingBECN=%d", n.disc.UsedBytes(), len(n.pending))
+	if n.credits != nil && n.tx != nil {
+		s += fmt.Sprintf(" uplink(down=%v)", n.tx.Down())
+	}
+	return s
+}
+
 // post drains pending BECNs into the output buffer, then moves one
 // AdVOQ head past the throttling gate (IRD/LTI, Section III-D), then
 // runs the output buffer's post-processing.
@@ -258,6 +318,9 @@ func (n *Node) pickAdVOQ(now sim.Cycle) int {
 // arbitrate serves the output buffer onto the uplink: BECNs first, then
 // round-robin among the queues with eligible heads.
 func (n *Node) arbitrate(now sim.Cycle) {
+	if now < n.pausedUntil {
+		return
+	}
 	if n.tx == nil || !n.tx.Free(now) || n.disc.UsedBytes() == 0 {
 		return
 	}

@@ -2,10 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/network"
 	"repro/internal/sim"
+	"repro/internal/topo"
 	"repro/internal/traffic"
 )
 
@@ -322,6 +326,75 @@ func TestExtrasRegistry(t *testing.T) {
 		if err != nil || got.ID != e.ID {
 			t.Fatalf("ByID(%s): %v", e.ID, err)
 		}
+	}
+}
+
+// TestZeroDeliverySummaryFinite pins the zero-delivery guard: a run
+// in which no packet ever arrives (here: no traffic at all; in the
+// field: a pathological scheme or a scripted fault) must summarise and
+// aggregate to zeros, never NaN or ±Inf — those would poison CSVs,
+// manifests and downstream mean±sd tables.
+func TestZeroDeliverySummaryFinite(t *testing.T) {
+	exp := Experiment{
+		ID:       "xempty",
+		Kind:     Throughput,
+		Duration: ms(0.1),
+		Bin:      ms(0.05),
+		Build: func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
+			return network.Build(topo.Config1(), p, network.Options{Seed: seed, BinCycles: bin})
+		},
+	}
+	r, err := Run(exp, "CCFIT", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Summary.DeliveredPkts != 0 {
+		t.Fatalf("idle network delivered %d packets", r.Summary.DeliveredPkts)
+	}
+	check := func(name string, v float64) {
+		t.Helper()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("Summary.%s = %v on a zero-delivery run", name, v)
+		}
+	}
+	check("AvgLatencyNS", r.Summary.AvgLatencyNS)
+	check("MaxLatencyNS", r.Summary.MaxLatencyNS)
+	check("P50LatencyNS", r.Summary.P50LatencyNS)
+	check("P99LatencyNS", r.Summary.P99LatencyNS)
+	check("MeanNormalized", r.Summary.MeanNormalized)
+	for i, v := range r.Normalized {
+		check("Normalized[bin]", v)
+		_ = i
+	}
+
+	rep, err := Aggregate(exp, "CCFIT", []*Result{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("MeanNormalized (agg)", rep.MeanNormalized)
+	check("StdNormalized (agg)", rep.StdNormalized)
+	check("MeanDelivered (agg)", rep.MeanDelivered)
+	check("StdDelivered (agg)", rep.StdDelivered)
+}
+
+// TestExtraFaultFlapRegistered: the xfaultflap scenario resolves,
+// carries a valid fault script, and its Build injects that script
+// without disturbing an ordinary short run.
+func TestExtraFaultFlapRegistered(t *testing.T) {
+	if err := RootFlapScript().Validate(); err != nil {
+		t.Fatalf("shipped flap script invalid: %v", err)
+	}
+	exp, err := ByID("xfaultflap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.Duration = ms(0.4) // flap at 4 ms lies beyond this smoke run
+	r, err := Run(exp, "CCFIT", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Summary.DeliveredPkts == 0 {
+		t.Fatal("xfaultflap delivered nothing")
 	}
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/network"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -47,6 +48,44 @@ func Extras() []Experiment {
 				return n, n.AddFlows(parkingLotFlows(end))
 			},
 		},
+		{
+			ID:    "xfaultflap",
+			Title: "Extra: link-flap recovery on the Case #1 congestion-tree root (Config #1)",
+			Paper: "not a paper figure; the root link switchB->node4 goes down for 0.5 ms at t=4 ms while the Case #1 hot spot is active (in-flight packets preserved) — under 1Q the dead link's backlog spreads HoL blocking to the victim flow, under CCFIT the congested flows sit isolated in CFQs and throughput recovers as soon as the link returns",
+			Kind:  Throughput,
+			Schemes: []string{
+				"1Q", "CCFIT",
+			},
+			Duration: ms(10),
+			Bin:      bin,
+			Build: func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
+				n, err := BuildConfig1(p, seed, bin, end)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := n.InjectFaults(RootFlapScript()); err != nil {
+					return nil, err
+				}
+				return n, nil
+			},
+		},
+	}
+}
+
+// RootFlapScript is the xfaultflap fault scenario: the congestion
+// tree's root link (switchB -> node4, the hot destination's access
+// link) flaps down for 0.5 ms at t=4 ms with the lossless-preserving
+// policy. The same script ships as scripts/faults/config1-root-flap.json
+// for CLI use.
+func RootFlapScript() *fault.Script {
+	return &fault.Script{
+		Name: "config1-root-flap",
+		Events: []fault.Event{{
+			Kind:       fault.LinkFlap,
+			AtMS:       4,
+			DurationMS: 0.5,
+			Link:       &fault.LinkRef{From: topo.Config1SwitchB, To: 4},
+		}},
 	}
 }
 

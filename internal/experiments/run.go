@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/network"
 	"repro/internal/sim"
@@ -103,10 +104,13 @@ func Harvest(exp Experiment, scheme string, seed int64, n *network.Network) *Res
 	s := &r.Summary
 	s.DeliveredPkts = n.Collector.DeliveredPkts
 	s.DeliveredBytes = n.Collector.DeliveredBytes
-	s.AvgLatencyNS = n.Collector.AvgLatencyNS()
-	s.MaxLatencyNS = n.Collector.MaxLatencyNS()
-	s.P50LatencyNS = n.Collector.LatencyPercentileNS(0.50)
-	s.P99LatencyNS = n.Collector.LatencyPercentileNS(0.99)
+	// finite guards the latency summary against zero-delivery runs (a
+	// pathological scheme, a paused source, a scripted fault): tables
+	// and manifests must read 0, never NaN or ±Inf.
+	s.AvgLatencyNS = finite(n.Collector.AvgLatencyNS())
+	s.MaxLatencyNS = finite(n.Collector.MaxLatencyNS())
+	s.P50LatencyNS = finite(n.Collector.LatencyPercentileNS(0.50))
+	s.P99LatencyNS = finite(n.Collector.LatencyPercentileNS(0.99))
 	for _, nd := range n.Nodes {
 		s.BECNs += nd.Stats().BECNsReceived
 	}
@@ -127,6 +131,14 @@ func Harvest(exp Experiment, scheme string, seed int64, n *network.Network) *Res
 		s.MeanNormalized /= float64(len(r.Normalized))
 	}
 	return r
+}
+
+// finite maps NaN and ±Inf to 0.
+func finite(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return x
 }
 
 // SteadyMean averages a series over its final fraction (e.g. 0.5 for

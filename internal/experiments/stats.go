@@ -86,8 +86,13 @@ func Aggregate(exp Experiment, scheme string, results []*Result) (*Replication, 
 	return rep, nil
 }
 
-// meanStd returns the mean and the sample standard deviation.
+// meanStd returns the mean and the sample standard deviation, with
+// 0,0 for an empty sample — a campaign whose runs all delivered
+// nothing must aggregate to zeros, not NaN.
 func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
 	n := float64(len(xs))
 	for _, x := range xs {
 		mean += x

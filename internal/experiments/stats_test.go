@@ -20,6 +20,11 @@ func TestMeanStd(t *testing.T) {
 	if m != 3 || s != 0 {
 		t.Fatalf("single-sample %v %v", m, s)
 	}
+	// An empty sample is zeros, not 0/0 = NaN.
+	m, s = meanStd(nil)
+	if m != 0 || s != 0 {
+		t.Fatalf("empty sample %v %v, want 0 0", m, s)
+	}
 }
 
 func TestRunSeedsDeterministicPerSeed(t *testing.T) {

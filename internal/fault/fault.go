@@ -1,0 +1,256 @@
+// Package fault is the deterministic fault-injection subsystem: a
+// scripted scenario is a list of typed events (link degradation, link
+// flap, control-channel corruption/duplication/delay/noise, switch
+// stall, end-node pause), each pinned to a simulation cycle, so that a
+// run is exactly replayable from (topology, scheme, seed, script). The
+// injector draws its randomness from its own seeded stream — never
+// from the engine's shared RNG sequence — so adding or removing fault
+// events cannot perturb the traffic pattern or any other component's
+// random stream.
+//
+// Lossless-aware drop policy: a fabric with credit-based flow control
+// never drops packets in normal operation, so the only legal loss is a
+// scripted link flap with drop=true, which condemns exactly the
+// packets serialized onto the failed direction at that instant. Each
+// condemned packet is handed to the link's drop handler, which must
+// refund the sender-side credit (the sender already paid for receive
+// buffer space the packet will never occupy) and release the packet —
+// otherwise the credit loop wedges and the loss shows up as a leak in
+// the conservation ledger. Control messages (credits, CFQ protocol)
+// keep flowing across a downed link: this models the link-level retry
+// real lossless fabrics use for their control plane; dropping credit
+// returns would deadlock the whole network, which is a different
+// experiment than a flap.
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+)
+
+// Kind names a fault event type.
+type Kind string
+
+const (
+	// LinkDegrade reduces a link direction's bandwidth to
+	// Params.BytesPerCycle for the event window (a faulty lane).
+	LinkDegrade Kind = "link-degrade"
+	// LinkFlap takes a link direction down for the event window.
+	// Params.Drop selects the in-flight policy: preserve (false,
+	// default — packets on the wire still land) or drop (true — they
+	// are condemned and the drop handler refunds their credits).
+	LinkFlap Kind = "link-flap"
+	// CtlNoise injects random CFQ-protocol control messages (alloc,
+	// stop, go, dealloc with fuzzed CFQ indices) into switch ports
+	// every Params.Period cycles — the generalized chaos test.
+	CtlNoise Kind = "ctl-noise"
+	// CtlCorrupt scrambles the CFQ index of non-credit control
+	// messages crossing a link with probability Params.Prob.
+	CtlCorrupt Kind = "ctl-corrupt"
+	// CtlDuplicate delivers non-credit control messages twice with
+	// probability Params.Prob.
+	CtlDuplicate Kind = "ctl-duplicate"
+	// CtlDelay adds Params.Delay cycles of extra latency to non-credit
+	// control messages with probability Params.Prob.
+	CtlDelay Kind = "ctl-delay"
+	// SwitchStall freezes a switch's arbitration for the event window
+	// (a wedged scheduler); arrivals still queue.
+	SwitchStall Kind = "switch-stall"
+	// NodePause freezes an end node's transmit side for the event
+	// window; its sink keeps consuming.
+	NodePause Kind = "node-pause"
+)
+
+// LinkRef names one direction of a link by the device ids of its ends
+// (endpoints are devices too; see topo). From's port transmits, To
+// receives.
+type LinkRef struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+func (l LinkRef) String() string { return fmt.Sprintf("%d->%d", l.From, l.To) }
+
+// Params carries the kind-specific knobs of an event.
+type Params struct {
+	// BytesPerCycle is the degraded bandwidth (LinkDegrade).
+	BytesPerCycle int `json:"bytes_per_cycle,omitempty"`
+	// Drop selects the lossless-aware drop policy for LinkFlap: false
+	// preserves in-flight packets, true condemns them.
+	Drop bool `json:"drop,omitempty"`
+	// Period is the injection interval in cycles (CtlNoise; default 97,
+	// a prime so the noise drifts across the victim's cycle phases).
+	Period int64 `json:"period,omitempty"`
+	// Prob is the per-message fault probability (CtlCorrupt,
+	// CtlDuplicate, CtlDelay; default 1.0).
+	Prob float64 `json:"prob,omitempty"`
+	// Delay is the extra control latency in cycles (CtlDelay).
+	Delay int64 `json:"delay,omitempty"`
+}
+
+// Event is one scripted fault: Kind applied to Target over
+// [At, At+Duration). Times are cycles; the *MS fields are accepted as
+// a convenience and converted with the simulator's clock. Duration 0
+// means "until the end of the run".
+type Event struct {
+	Kind Kind `json:"kind"`
+
+	At         int64   `json:"at,omitempty"`
+	AtMS       float64 `json:"at_ms,omitempty"`
+	Duration   int64   `json:"duration,omitempty"`
+	DurationMS float64 `json:"duration_ms,omitempty"`
+
+	// Target: exactly one of Link / Switch / Node, by event kind.
+	// CtlNoise may omit Switch to spray every switch; Port narrows
+	// CtlNoise to one port of one switch.
+	Link   *LinkRef `json:"link,omitempty"`
+	Switch *int     `json:"switch,omitempty"`
+	Port   *int     `json:"port,omitempty"`
+	Node   *int     `json:"node,omitempty"`
+
+	Params Params `json:"params,omitempty"`
+}
+
+// Start returns the event's start cycle.
+func (e *Event) Start() sim.Cycle {
+	if e.AtMS != 0 {
+		return sim.CyclesFromMS(e.AtMS)
+	}
+	return sim.Cycle(e.At)
+}
+
+// Window returns the event's duration in cycles (0 = rest of run).
+func (e *Event) Window() sim.Cycle {
+	if e.DurationMS != 0 {
+		return sim.CyclesFromMS(e.DurationMS)
+	}
+	return sim.Cycle(e.Duration)
+}
+
+func (e *Event) String() string {
+	t := "?"
+	switch {
+	case e.Link != nil:
+		t = "link " + e.Link.String()
+	case e.Switch != nil:
+		t = fmt.Sprintf("switch %d", *e.Switch)
+	case e.Node != nil:
+		t = fmt.Sprintf("node %d", *e.Node)
+	case e.Kind == CtlNoise:
+		t = "all switches"
+	}
+	return fmt.Sprintf("%s @%d+%d on %s", e.Kind, e.Start(), e.Window(), t)
+}
+
+// Script is a replayable fault scenario.
+type Script struct {
+	// Name labels the scenario in manifests and diagnostics.
+	Name string `json:"name,omitempty"`
+	// Seed is extra entropy folded into the injector's RNG stream, so
+	// two scripts with identical events can still differ randomly.
+	Seed   int64   `json:"seed,omitempty"`
+	Events []Event `json:"events"`
+}
+
+// Load reads and validates a script from a JSON file.
+func Load(path string) (*Script, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Parse decodes and validates a JSON script. Unknown fields are
+// errors: a typo in a fault script must not silently run the wrong
+// scenario.
+func Parse(data []byte) (*Script, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Script
+	if err := dec.Decode(&s); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks structural sanity (targets present, parameters in
+// range). Target existence against a concrete topology is checked at
+// injection time by the network, which owns device resolution.
+func (s *Script) Validate() error {
+	if len(s.Events) == 0 {
+		return fmt.Errorf("script %q has no events", s.Name)
+	}
+	for i := range s.Events {
+		e := &s.Events[i]
+		if e.Start() < 0 || e.Window() < 0 {
+			return fmt.Errorf("event %d (%s): negative time", i, e.Kind)
+		}
+		switch e.Kind {
+		case LinkDegrade:
+			if e.Link == nil {
+				return fmt.Errorf("event %d (%s): needs a link target", i, e.Kind)
+			}
+			if e.Params.BytesPerCycle <= 0 {
+				return fmt.Errorf("event %d (%s): needs params.bytes_per_cycle > 0", i, e.Kind)
+			}
+		case LinkFlap:
+			if e.Link == nil {
+				return fmt.Errorf("event %d (%s): needs a link target", i, e.Kind)
+			}
+		case CtlCorrupt, CtlDuplicate, CtlDelay:
+			if e.Link == nil {
+				return fmt.Errorf("event %d (%s): needs a link target", i, e.Kind)
+			}
+			if e.Params.Prob < 0 || e.Params.Prob > 1 {
+				return fmt.Errorf("event %d (%s): params.prob must be in [0,1]", i, e.Kind)
+			}
+			if e.Kind == CtlDelay && e.Params.Delay <= 0 {
+				return fmt.Errorf("event %d (%s): needs params.delay > 0", i, e.Kind)
+			}
+		case CtlNoise:
+			if e.Params.Period < 0 {
+				return fmt.Errorf("event %d (%s): params.period must be >= 0", i, e.Kind)
+			}
+			if e.Port != nil && e.Switch == nil {
+				return fmt.Errorf("event %d (%s): port target needs an explicit switch", i, e.Kind)
+			}
+		case SwitchStall:
+			if e.Switch == nil {
+				return fmt.Errorf("event %d (%s): needs a switch target", i, e.Kind)
+			}
+		case NodePause:
+			if e.Node == nil {
+				return fmt.Errorf("event %d (%s): needs a node target", i, e.Kind)
+			}
+		default:
+			return fmt.Errorf("event %d: unknown kind %q", i, e.Kind)
+		}
+	}
+	return nil
+}
+
+// Fingerprint returns the script's canonical JSON encoding — the
+// runner folds it into cache keys so scripted and unscripted runs of
+// the same job never collide.
+func (s *Script) Fingerprint() string {
+	if s == nil {
+		return ""
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(fmt.Sprintf("fault: script not marshalable: %v", err))
+	}
+	return string(b)
+}

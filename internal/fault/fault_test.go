@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestParseValidScript(t *testing.T) {
+	s, err := Parse([]byte(`{
+		"name": "mixed",
+		"seed": 7,
+		"events": [
+			{"kind": "link-flap", "at_ms": 4, "duration_ms": 0.5,
+			 "link": {"from": 8, "to": 4}, "params": {"drop": true}},
+			{"kind": "link-degrade", "at": 100, "duration": 50,
+			 "link": {"from": 7, "to": 8}, "params": {"bytes_per_cycle": 64}},
+			{"kind": "ctl-noise", "params": {"period": 97}},
+			{"kind": "switch-stall", "at": 10, "switch": 7},
+			{"kind": "node-pause", "at": 10, "node": 0},
+			{"kind": "ctl-delay", "link": {"from": 8, "to": 7},
+			 "params": {"prob": 0.5, "delay": 40}}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "mixed" || s.Seed != 7 || len(s.Events) != 6 {
+		t.Fatalf("parsed %+v", s)
+	}
+	// MS conveniences convert through the simulator's clock.
+	if got, want := s.Events[0].Start(), sim.CyclesFromMS(4); got != want {
+		t.Fatalf("at_ms start %d, want %d", got, want)
+	}
+	if got, want := s.Events[0].Window(), sim.CyclesFromMS(0.5); got != want {
+		t.Fatalf("duration_ms window %d, want %d", got, want)
+	}
+	if s.Events[1].Start() != 100 || s.Events[1].Window() != 50 {
+		t.Fatal("cycle times mangled")
+	}
+	// Duration 0 = rest of run.
+	if s.Events[2].Window() != 0 {
+		t.Fatal("open-ended event got a window")
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	// A typo must not silently run a different scenario.
+	_, err := Parse([]byte(`{"events": [{"kind": "switch-stall", "swich": 7}]}`))
+	if err == nil || !strings.Contains(err.Error(), "swich") {
+		t.Fatalf("unknown field accepted: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	sw, port := 7, 1
+	cases := []struct {
+		name string
+		ev   Event
+		want string
+	}{
+		{"no target flap", Event{Kind: LinkFlap}, "link target"},
+		{"degrade without bandwidth", Event{Kind: LinkDegrade, Link: &LinkRef{From: 7, To: 8}}, "bytes_per_cycle"},
+		{"corrupt without link", Event{Kind: CtlCorrupt}, "link target"},
+		{"prob out of range", Event{Kind: CtlCorrupt, Link: &LinkRef{From: 7, To: 8}, Params: Params{Prob: 1.5}}, "prob"},
+		{"delay without delay", Event{Kind: CtlDelay, Link: &LinkRef{From: 7, To: 8}}, "delay"},
+		{"noise port without switch", Event{Kind: CtlNoise, Port: &port}, "switch"},
+		{"stall without switch", Event{Kind: SwitchStall}, "switch target"},
+		{"pause without node", Event{Kind: NodePause}, "node target"},
+		{"negative time", Event{Kind: SwitchStall, Switch: &sw, At: -5}, "negative"},
+		{"unknown kind", Event{Kind: "link-melt"}, "unknown kind"},
+	}
+	for _, tc := range cases {
+		s := &Script{Name: tc.name, Events: []Event{tc.ev}}
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	if err := (&Script{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty script accepted")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	var nilScript *Script
+	if nilScript.Fingerprint() != "" {
+		t.Fatal("nil script fingerprint not empty")
+	}
+	a := &Script{Name: "a", Events: []Event{{Kind: CtlNoise}}}
+	b := &Script{Name: "a", Seed: 1, Events: []Event{{Kind: CtlNoise}}}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("seed change did not alter fingerprint")
+	}
+	if a.Fingerprint() != (&Script{Name: "a", Events: []Event{{Kind: CtlNoise}}}).Fingerprint() {
+		t.Fatal("identical scripts fingerprint differently")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	sw := 7
+	for _, tc := range []struct {
+		ev   Event
+		want string
+	}{
+		{Event{Kind: LinkFlap, Link: &LinkRef{From: 8, To: 4}}, "link 8->4"},
+		{Event{Kind: SwitchStall, Switch: &sw}, "switch 7"},
+		{Event{Kind: CtlNoise}, "all switches"},
+	} {
+		if got := tc.ev.String(); !strings.Contains(got, tc.want) {
+			t.Errorf("%q misses %q", got, tc.want)
+		}
+	}
+}

@@ -75,17 +75,44 @@ type ControlReceiver interface {
 	ReceiveControl(m Control)
 }
 
+// TamperFunc intercepts a control message about to be transmitted and
+// returns the messages actually sent (possibly corrupted or duplicated)
+// plus extra propagation delay in cycles. Fault injectors install it;
+// credit messages must pass through untouched or the lossless credit
+// loop deadlocks (see the fault package's lossless-aware policy).
+type TamperFunc func(m Control) (out []Control, extraDelay sim.Cycle)
+
 // Half is one direction of a link: the transmit side owned by a device
 // port. Both directions of a physical link are independent Halves with
 // identical bandwidth and delay.
 type Half struct {
-	eng       *sim.Engine
-	name      string
-	bpc       int
-	delay     sim.Cycle
-	busyUntil sim.Cycle
-	pktRx     PacketReceiver
-	ctlRx     ControlReceiver
+	eng        *sim.Engine
+	name       string
+	bpc        int
+	nominalBPC int
+	delay      sim.Cycle
+	busyUntil  sim.Cycle
+	pktRx      PacketReceiver
+	ctlRx      ControlReceiver
+
+	// Fault state. down blocks new transmissions (Free reports false);
+	// epoch invalidates in-flight packets: every Send captures the
+	// current epoch and the arrival event compares it, so DropInFlight
+	// kills exactly the packets on the wire at the moment it is called.
+	// The control channel is deliberately unaffected by down/degrade: it
+	// models the link-level retry that keeps credit returns reliable on
+	// a lossless fabric (dropping credits would wedge the whole loop).
+	down   bool
+	epoch  uint32
+	onDrop func(p *pkt.Packet)
+	tamper TamperFunc
+
+	// In-flight accounting: bytes/packets sent but not yet arrived
+	// (the invariant checker's "on the wire" ledger term).
+	inFlightPkts  int
+	inFlightBytes int
+	droppedPkts   int
+	droppedBytes  int
 
 	// Utilization accounting.
 	busyCycles sim.Cycle
@@ -103,7 +130,7 @@ func NewHalf(eng *sim.Engine, name string, bytesPerCycle int, delay sim.Cycle) *
 	if delay < 0 {
 		panic("link: negative delay")
 	}
-	return &Half{eng: eng, name: name, bpc: bytesPerCycle, delay: delay}
+	return &Half{eng: eng, name: name, bpc: bytesPerCycle, nominalBPC: bytesPerCycle, delay: delay}
 }
 
 // SetReceivers attaches the far-end packet and control consumers.
@@ -123,8 +150,10 @@ func (h *Half) TxCycles(size int) sim.Cycle {
 	return sim.Cycle((size + h.bpc - 1) / h.bpc)
 }
 
-// Free reports whether a new transfer may start now.
-func (h *Half) Free(now sim.Cycle) bool { return h.busyUntil <= now }
+// Free reports whether a new transfer may start now. A downed
+// direction is never free: senders keep their packets queued (lossless
+// behaviour — a flap stalls traffic, it does not lose it).
+func (h *Half) Free(now sim.Cycle) bool { return !h.down && h.busyUntil <= now }
 
 // FreeAt returns the cycle the direction becomes idle.
 func (h *Half) FreeAt() sim.Cycle { return h.busyUntil }
@@ -147,11 +176,81 @@ func (h *Half) Send(now sim.Cycle, p *pkt.Packet, cfq int) sim.Cycle {
 	h.busyCycles += tx
 	h.sentPkts++
 	h.sentBytes += p.Size
+	h.inFlightPkts++
+	h.inFlightBytes += p.Size
 	arrive := h.busyUntil + h.delay
-	rx := h.pktRx
-	h.eng.At(arrive, func() { rx.ReceivePacket(p, cfq) })
+	ep := h.epoch
+	h.eng.At(arrive, func() { h.arrive(p, cfq, ep) })
 	return h.busyUntil
 }
+
+// arrive lands a packet at the far end, unless a DropInFlight between
+// send and arrival invalidated its epoch, in which case the packet is
+// counted dropped and handed to the drop handler (which owns returning
+// the sender's credit and releasing the packet).
+func (h *Half) arrive(p *pkt.Packet, cfq int, ep uint32) {
+	h.inFlightPkts--
+	h.inFlightBytes -= p.Size
+	if ep != h.epoch {
+		h.droppedPkts++
+		h.droppedBytes += p.Size
+		if h.onDrop != nil {
+			h.onDrop(p)
+		}
+		return
+	}
+	h.pktRx.ReceivePacket(p, cfq)
+}
+
+// SetDown fails (true) or restores (false) the direction. While down,
+// Free reports false so no new packet starts; packets already on the
+// wire still arrive unless DropInFlight is also called (the scripted
+// flap policy chooses preserve vs. drop). Control messages keep
+// flowing — see the field comment on down.
+func (h *Half) SetDown(down bool) { h.down = down }
+
+// Down reports whether the direction is currently failed.
+func (h *Half) Down() bool { return h.down }
+
+// DropInFlight invalidates every packet currently on the wire and
+// returns how many were condemned; each is delivered to the drop
+// handler at its would-be arrival cycle (so ledger accounting stays
+// cycle-accurate).
+func (h *Half) DropInFlight() int {
+	h.epoch++
+	return h.inFlightPkts
+}
+
+// SetDropHandler installs the consumer of packets condemned by
+// DropInFlight. The network installs one that refunds the sender-side
+// credit and releases the packet to the pool.
+func (h *Half) SetDropHandler(fn func(p *pkt.Packet)) { h.onDrop = fn }
+
+// Degrade reduces the direction's bandwidth to bytesPerCycle (a faulty
+// lane / lowered width). In-progress serialization keeps its original
+// timing; only future sends see the degraded rate.
+func (h *Half) Degrade(bytesPerCycle int) {
+	if bytesPerCycle <= 0 {
+		panic("link: degraded bandwidth must be positive")
+	}
+	h.bpc = bytesPerCycle
+}
+
+// Restore returns the direction to its nominal bandwidth.
+func (h *Half) Restore() { h.bpc = h.nominalBPC }
+
+// NominalBPC returns the as-built bandwidth, ignoring degradation.
+func (h *Half) NominalBPC() int { return h.nominalBPC }
+
+// SetControlTamper installs (or, with nil, removes) a control-channel
+// fault. While installed every SendControl passes through fn.
+func (h *Half) SetControlTamper(fn TamperFunc) { h.tamper = fn }
+
+// InFlight returns the packets and bytes currently on the wire.
+func (h *Half) InFlight() (pkts, bytes int) { return h.inFlightPkts, h.inFlightBytes }
+
+// Dropped returns the packets and bytes condemned by DropInFlight.
+func (h *Half) Dropped() (pkts, bytes int) { return h.droppedPkts, h.droppedBytes }
 
 // Name returns the direction's diagnostic name.
 func (h *Half) Name() string { return h.name }
@@ -170,5 +269,13 @@ func (h *Half) SendControl(now sim.Cycle, m Control) {
 		panic(fmt.Sprintf("link %s: no control receiver attached", h.name))
 	}
 	rx := h.ctlRx
+	if h.tamper != nil {
+		out, extra := h.tamper(m)
+		for _, mm := range out {
+			mm := mm
+			h.eng.At(now+h.delay+extra, func() { rx.ReceiveControl(mm) })
+		}
+		return
+	}
 	h.eng.At(now+h.delay, func() { rx.ReceiveControl(m) })
 }

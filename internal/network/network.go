@@ -10,6 +10,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/endnode"
+	"repro/internal/fault"
+	"repro/internal/invariant"
 	"repro/internal/link"
 	"repro/internal/metrics"
 	"repro/internal/pkt"
@@ -30,6 +32,18 @@ type Options struct {
 	// TieBreak selects equal-cost routes (nil = route.DefaultTieBreak;
 	// fat trees should pass (*topo.FatTree).DETTieBreak).
 	TieBreak route.TieBreak
+	// DisableInvariants opts out of the always-on runtime checker
+	// (micro-benchmarks squeezing the last cycles; everything else
+	// should leave it on — it audits once per ~1k cycles and is
+	// outcome-neutral).
+	DisableInvariants bool
+	// WatchdogWindow overrides the forward-progress watchdog: cycles
+	// of buffered-but-motionless traffic before declaring deadlock
+	// (0 = checker default, <0 = watchdog off).
+	WatchdogWindow sim.Cycle
+	// OnViolation consumes invariant violations (nil panics with the
+	// *invariant.Violation, which the runner recovers per job).
+	OnViolation func(*invariant.Violation)
 }
 
 // Network is a fully wired simulation instance.
@@ -42,12 +56,16 @@ type Network struct {
 	Nodes     []*endnode.Node     // indexed by endpoint id
 	Collector *metrics.Collector
 	Gen       *traffic.Generator
+	Checker   *invariant.Checker // nil when Options.DisableInvariants
 
-	ids     pkt.IDGen
-	pool    pkt.Pool // per-network packet free-list (single-goroutine)
-	byDev   map[int]*switchfab.Switch
-	linkBPC []int // injection bandwidth per endpoint
-	halves  []*link.Half
+	ids      pkt.IDGen
+	pool     pkt.Pool // per-network packet free-list (single-goroutine)
+	byDev    map[int]*switchfab.Switch
+	linkBPC  []int // injection bandwidth per endpoint
+	halves   []*link.Half
+	halfEnds map[[2]int]*link.Half           // (from,to) device ids -> direction
+	halfPool map[*link.Half]*core.CreditPool // sender-side pool per direction
+	injector *fault.Injector
 }
 
 // Build wires a network for the given topology and scheme parameters.
@@ -68,11 +86,13 @@ func Build(t *topo.Topology, p core.Params, opt Options) (*Network, error) {
 	eng := sim.NewEngine(opt.Seed)
 	ne := t.NumEndpoints()
 	n := &Network{
-		Eng:    eng,
-		Topo:   t,
-		Tables: tables,
-		Params: p,
-		byDev:  make(map[int]*switchfab.Switch),
+		Eng:      eng,
+		Topo:     t,
+		Tables:   tables,
+		Params:   p,
+		byDev:    make(map[int]*switchfab.Switch),
+		halfEnds: make(map[[2]int]*link.Half),
+		halfPool: make(map[*link.Half]*core.CreditPool),
 	}
 
 	// Endpoint injection bandwidths (for normalisation and traffic).
@@ -137,8 +157,39 @@ func Build(t *topo.Topology, p core.Params, opt Options) (*Network, error) {
 		n.attach(ls.DevA, ls.PortA, ab, n.creditPool(ls.DevB))
 		n.attach(ls.DevB, ls.PortB, ba, n.creditPool(ls.DevA))
 		n.halves = append(n.halves, ab, ba)
+		n.halfEnds[[2]int{ls.DevA, ls.DevB}] = ab
+		n.halfEnds[[2]int{ls.DevB, ls.DevA}] = ba
+		ab.SetDropHandler(n.dropHandler(ab))
+		ba.SetDropHandler(n.dropHandler(ba))
+	}
+
+	if !opt.DisableInvariants {
+		// Attached after every component so the audit ticks last in the
+		// update phase, seeing each cycle's settled state.
+		n.Checker = invariant.Attach(eng, invariant.Config{
+			Nodes:          n.Nodes,
+			Switches:       n.Switches,
+			Halves:         n.halves,
+			WatchdogWindow: opt.WatchdogWindow,
+			OnViolation:    opt.OnViolation,
+		})
 	}
 	return n, nil
+}
+
+// dropHandler builds the lossless-aware consumer for packets condemned
+// by a drop-policy link flap on h: the sender already took credit for
+// receive-buffer space the packet will never occupy, so the credit is
+// refunded at the sender-side pool, and the packet (owned by the wire
+// at that point) is released. The half itself records the drop for the
+// conservation ledger.
+func (n *Network) dropHandler(h *link.Half) func(*pkt.Packet) {
+	return func(p *pkt.Packet) {
+		if pool := n.halfPool[h]; pool != nil {
+			pool.Give(p.Dst, p.Size)
+		}
+		n.pool.Release(p)
+	}
 }
 
 // creditPool builds the credit pool mirroring dev's receive buffers:
@@ -169,6 +220,7 @@ func (n *Network) ctlRx(dev, port int) link.ControlReceiver {
 }
 
 func (n *Network) attach(dev, port int, tx *link.Half, credits *core.CreditPool) {
+	n.halfPool[tx] = credits
 	if n.Topo.Devices[dev].Kind == topo.Endpoint {
 		n.Nodes[n.Topo.Devices[dev].EndpointID].AttachLink(tx, credits)
 		return
@@ -219,9 +271,14 @@ func (n *Network) LinkLoads() []LinkLoad {
 
 // NewPacket mints an MTU-sized data packet with a network-unique id,
 // timestamped now — for tools and tests that inject traffic outside
-// the Generator.
+// the Generator. The invariant checker is told about it so manual
+// injection stays conservation-clean.
 func (n *Network) NewPacket(src, dst, flow int) *pkt.Packet {
-	return n.pool.NewData(&n.ids, src, dst, flow, pkt.MTU, n.Eng.Now())
+	p := n.pool.NewData(&n.ids, src, dst, flow, pkt.MTU, n.Eng.Now())
+	if n.Checker != nil {
+		n.Checker.ExternalInjected(p)
+	}
+	return p
 }
 
 // Run advances the simulation by d cycles.

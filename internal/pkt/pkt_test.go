@@ -103,7 +103,7 @@ func TestPoolReuseAndScrub(t *testing.T) {
 	if pl.FreeLen() != 1 || pl.Releases != 1 {
 		t.Fatalf("FreeLen=%d Releases=%d after release", pl.FreeLen(), pl.Releases)
 	}
-	if (*p1 != Packet{}) {
+	if (*p1 != Packet{pooled: true}) {
 		t.Fatalf("released packet not scrubbed: %+v", *p1)
 	}
 	p2 := pl.NewBECN(&g, 3, 0, 3, 300)
@@ -115,6 +115,45 @@ func TestPoolReuseAndScrub(t *testing.T) {
 	}
 	if p2.Kind != BECN || p2.ID != 2 || p2.FECN || p2.Delivered != 0 {
 		t.Fatalf("reused packet carries stale state: %+v", *p2)
+	}
+}
+
+// TestPoolDoubleReleasePanics pins the loud-failure contract the fault
+// paths rely on: a link-flap drop handler is the single owner of a
+// condemned packet, and any second Release (a component that wrongly
+// kept a reference) must be caught at the call site, not surface later
+// as two aliased live packets.
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	var pl Pool
+	var g IDGen
+	p := pl.NewData(&g, 0, 1, 0, 64, 0)
+	pl.Release(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+		if pl.Releases != 1 || pl.FreeLen() != 1 {
+			t.Fatalf("double release corrupted the free-list: Releases=%d FreeLen=%d", pl.Releases, pl.FreeLen())
+		}
+	}()
+	pl.Release(p)
+}
+
+// TestPoolReleaseClearsOnReuse verifies the pooled sentinel does not
+// outlive reuse: a recycled packet must be releasable exactly once
+// again.
+func TestPoolReleaseClearsOnReuse(t *testing.T) {
+	var pl Pool
+	var g IDGen
+	p := pl.NewData(&g, 0, 1, 0, 64, 0)
+	pl.Release(p)
+	q := pl.NewData(&g, 2, 3, 1, 128, 9)
+	if q != p {
+		t.Fatal("expected reuse of the released packet")
+	}
+	pl.Release(q) // must not panic: reuse cleared the sentinel
+	if pl.Releases != 2 {
+		t.Fatalf("Releases = %d, want 2", pl.Releases)
 	}
 }
 

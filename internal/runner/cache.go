@@ -48,18 +48,24 @@ func (c *Cache) Dir() string { return c.dir }
 // experiment identity (id, durations, kind, flow set), the scheme
 // label, the seed, every congestion-management parameter, and the
 // module version. Two runs with equal fingerprints produce identical
-// Results; anything that could change the output must appear here.
-// The Build closure itself cannot be fingerprinted — synthetic
-// experiments carrying different traffic must use distinct IDs.
-func Fingerprint(exp experiments.Experiment, scheme string, seed int64, p core.Params) string {
+// Results; anything that could change the output must appear here —
+// extra carries additional outcome-affecting facets (a fault script's
+// fingerprint). The Build closure itself cannot be fingerprinted —
+// synthetic experiments carrying different traffic must use distinct
+// IDs.
+func Fingerprint(exp experiments.Experiment, scheme string, seed int64, p core.Params, extra ...string) string {
 	p.Tracer = nil // observers don't affect results and can't be serialized
-	return fmt.Sprintf("ccfit-result-v%d|mod=%s|exp=%s|dur=%d|bin=%d|kind=%d|flows=%v|scheme=%s|seed=%d|params=%+v",
+	fp := fmt.Sprintf("ccfit-result-v%d|mod=%s|exp=%s|dur=%d|bin=%d|kind=%d|flows=%v|scheme=%s|seed=%d|params=%+v",
 		schemaVersion, moduleVersion(), exp.ID, exp.Duration, exp.Bin, exp.Kind, exp.FlowIDs, scheme, seed, p)
+	for _, e := range extra {
+		fp += "|" + e
+	}
+	return fp
 }
 
 // Key hashes a run's Fingerprint into its cache address.
-func Key(exp experiments.Experiment, scheme string, seed int64, p core.Params) string {
-	sum := sha256.Sum256([]byte(Fingerprint(exp, scheme, seed, p)))
+func Key(exp experiments.Experiment, scheme string, seed int64, p core.Params, extra ...string) string {
+	sum := sha256.Sum256([]byte(Fingerprint(exp, scheme, seed, p, extra...)))
 	return hex.EncodeToString(sum[:])
 }
 
@@ -67,19 +73,32 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key[:2], key+".gob")
 }
 
-// Get loads a cached result; any miss, decode error or truncated
-// entry simply reports !ok and the job recomputes.
-func (c *Cache) Get(key string) (*experiments.Result, bool) {
+// Get loads a cached result. A clean miss (no entry) reports !ok with
+// a nil error; an entry that exists but fails to decode — truncated
+// write, bit rot, stale encoding — reports !ok with the decode error
+// so the caller can log it, Remove the entry and recompute instead of
+// failing the job.
+func (c *Cache) Get(key string) (*experiments.Result, bool, error) {
 	f, err := os.Open(c.path(key))
 	if err != nil {
-		return nil, false
+		return nil, false, nil // clean miss
 	}
 	defer f.Close()
 	var r experiments.Result
 	if err := gob.NewDecoder(f).Decode(&r); err != nil {
-		return nil, false
+		return nil, false, fmt.Errorf("runner: corrupt cache entry %s: %w", key, err)
 	}
-	return &r, true
+	return &r, true, nil
+}
+
+// Remove deletes a cache entry (a no-op when absent) so a corrupt
+// file cannot shadow the slot after recovery.
+func (c *Cache) Remove(key string) error {
+	err := os.Remove(c.path(key))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
 }
 
 // Put stores a result atomically under key.

@@ -28,12 +28,21 @@ type ManifestRun struct {
 	Scheme         string  `json:"scheme"`
 	Seed           int64   `json:"seed"`
 	CacheKey       string  `json:"cache_key,omitempty"`
-	Status         string  `json:"status"` // "ok", "cached" or "failed"
+	Status         string  `json:"status"` // "ok", "cached", "failed" or "quarantined"
 	ElapsedMS      float64 `json:"elapsed_ms"`
+	Attempts       int     `json:"attempts,omitempty"`
 	Error          string  `json:"error,omitempty"`
 	MeanNormalized float64 `json:"mean_normalized,omitempty"`
 	DeliveredPkts  int64   `json:"delivered_pkts,omitempty"`
+	// Faults labels a job that ran under a fault script.
+	Faults string `json:"faults,omitempty"`
+	// Diagnostics is the invariant checker's snapshot for quarantined
+	// jobs, truncated to keep the manifest readable.
+	Diagnostics string `json:"diagnostics,omitempty"`
 }
+
+// maxDiagnostics bounds the snapshot carried per manifest run.
+const maxDiagnostics = 4096
 
 // NewManifest summarises a finished campaign.
 func NewManifest(tool string, opt Options, startedAt time.Time, results []JobResult) *Manifest {
@@ -55,11 +64,25 @@ func NewManifest(tool string, opt Options, startedAt time.Time, results []JobRes
 			Seed:       r.Job.Seed,
 			CacheKey:   r.Key,
 			ElapsedMS:  float64(r.Elapsed.Milliseconds()),
+			Attempts:   r.Attempts,
 		}
 		if run.Experiment == "" && r.Job.Exp != nil {
 			run.Experiment = r.Job.Exp.ID
 		}
+		if r.Job.Faults != nil {
+			run.Faults = r.Job.Faults.Name
+		}
 		switch {
+		case r.Quarantined:
+			run.Status = "quarantined"
+			run.Error = r.Err.Error()
+			if d := r.Diagnostics; d != "" {
+				if len(d) > maxDiagnostics {
+					d = d[:maxDiagnostics] + "\n... (truncated)"
+				}
+				run.Diagnostics = d
+			}
+			m.Failed++
 		case r.Err != nil:
 			run.Status = "failed"
 			run.Error = r.Err.Error()

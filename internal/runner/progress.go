@@ -26,6 +26,12 @@ func NewProgress(w io.Writer) func(Event) {
 			outcome = "cached"
 		case JobFailed:
 			outcome = "FAILED"
+		case JobRetry:
+			fmt.Fprintf(w, "        %s: retrying after %v\n", ev.Job, ev.Err)
+			return
+		case JobCacheCorrupt:
+			fmt.Fprintf(w, "        %s: %v (recomputing)\n", ev.Job, ev.Err)
+			return
 		}
 		fmt.Fprintf(w, "[%*d/%d] %-32s %9s  (elapsed %s, eta %s)\n",
 			digits(ev.Total), ev.Done, ev.Total, ev.Job, outcome,

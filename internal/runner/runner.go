@@ -30,6 +30,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -39,6 +40,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/invariant"
+	"repro/internal/sim"
 )
 
 // Job is one unit of work: an experiment run under one scheme and one
@@ -61,6 +65,15 @@ type Job struct {
 	// benches). Distinct traffic must use distinct IDs/durations, since
 	// those — not the Build closure — enter the cache key.
 	Exp *experiments.Experiment
+	// Faults, when non-nil, is a deterministic fault script injected
+	// after Build and before Run. Its fingerprint is part of the cache
+	// key, so faulted and fault-free runs of the same grid point never
+	// collide.
+	Faults *fault.Script
+	// Watchdog overrides the invariant checker's forward-progress
+	// window for this job: 0 keeps the default, <0 disables, >0 sets
+	// the window in cycles.
+	Watchdog sim.Cycle
 }
 
 // String labels a job for telemetry and error messages.
@@ -87,6 +100,16 @@ type JobResult struct {
 	Elapsed time.Duration
 	// Key is the cache key (empty when caching is disabled).
 	Key string
+	// Attempts counts simulation attempts (1 + retries; 0 for cache
+	// hits and jobs cancelled before starting).
+	Attempts int
+	// Quarantined marks a deterministic invariant violation: the same
+	// seed and script fail identically every time, so the job was not
+	// retried and must not be until the code or the script changes.
+	Quarantined bool
+	// Diagnostics carries the invariant checker's snapshot for
+	// quarantined jobs (truncated for the manifest).
+	Diagnostics string
 }
 
 // Options configure a campaign.
@@ -104,6 +127,13 @@ type Options struct {
 	// Progress, when non-nil, receives telemetry events. Calls are
 	// serialized by the runner; the callback need not be thread-safe.
 	Progress func(Event)
+	// Retries is how many times a transiently failed job (panic,
+	// timeout — anything except an invariant violation, which is
+	// deterministic and quarantined instead) is re-attempted.
+	Retries int
+	// RetryBackoff is the pause before the first retry, doubling each
+	// further attempt; 0 retries immediately.
+	RetryBackoff time.Duration
 }
 
 // EventType classifies a telemetry event.
@@ -119,6 +149,12 @@ const (
 	// JobFailed fires when a job errors, panics, times out or is
 	// cancelled.
 	JobFailed
+	// JobRetry fires when a transiently failed job is about to be
+	// re-attempted (Err carries the failure being retried).
+	JobRetry
+	// JobCacheCorrupt fires when a cache entry exists but cannot be
+	// decoded; the entry is removed and the job recomputes.
+	JobCacheCorrupt
 )
 
 // Event is one telemetry tick: which job, how far along the campaign
@@ -141,11 +177,13 @@ type Event struct {
 
 // resolved is a job after fail-fast validation.
 type resolved struct {
-	exp    experiments.Experiment
-	params core.Params
-	scheme string
-	seed   int64
-	key    string
+	exp      experiments.Experiment
+	params   core.Params
+	scheme   string
+	seed     int64
+	key      string
+	faults   *fault.Script
+	watchdog sim.Cycle
 }
 
 // resolve validates one job: the experiment must exist and be
@@ -184,6 +222,13 @@ func resolve(j Job) (resolved, error) {
 		out.scheme = out.params.Name
 	}
 	out.seed = j.Seed
+	if j.Faults != nil {
+		if err := j.Faults.Validate(); err != nil {
+			return out, err
+		}
+		out.faults = j.Faults
+	}
+	out.watchdog = j.Watchdog
 	return out, nil
 }
 
@@ -202,7 +247,14 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error) {
 			continue
 		}
 		if opt.Cache != nil {
-			r.key = Key(r.exp, r.scheme, j.Seed, r.params)
+			// The watchdog window is deliberately NOT part of the key:
+			// it can only turn a run into a failure, and failures are
+			// never cached, so every cached result is watchdog-neutral.
+			var extra []string
+			if r.faults != nil {
+				extra = append(extra, "faults="+r.faults.Fingerprint())
+			}
+			r.key = Key(r.exp, r.scheme, j.Seed, r.params, extra...)
 		}
 		rs[i] = r
 	}
@@ -281,21 +333,54 @@ feed:
 	return out, nil
 }
 
-// runOne executes a single job: cache probe, simulation with timeout
-// and panic containment, cache store, telemetry.
+// runOne executes a single job: cache probe (recovering from corrupt
+// entries), simulation with timeout and panic containment, transient
+// retries with exponential backoff, quarantine of deterministic
+// invariant violations, cache store, telemetry.
 func runOne(ctx context.Context, job Job, r resolved, i int, opt Options, emit func(Event)) JobResult {
 	emit(Event{Type: JobStart, Job: job, Index: i})
 	t0 := time.Now()
 	if opt.Cache != nil {
-		if res, ok := opt.Cache.Get(r.key); ok {
+		res, ok, gerr := opt.Cache.Get(r.key)
+		if ok {
 			jr := JobResult{Job: job, Result: res, Cached: true, Elapsed: time.Since(t0), Key: r.key}
 			emit(Event{Type: JobCached, Job: job, Index: i, JobElapsed: jr.Elapsed})
 			return jr
 		}
+		if gerr != nil {
+			// Corrupt entry: log, drop it, recompute. The fresh Put
+			// below overwrites the slot.
+			emit(Event{Type: JobCacheCorrupt, Job: job, Index: i, Err: gerr})
+			_ = opt.Cache.Remove(r.key)
+		}
 	}
-	res, err := executeBounded(ctx, job, r, opt.Timeout)
-	jr := JobResult{Job: job, Result: res, Err: err, Elapsed: time.Since(t0), Key: r.key}
+	var (
+		res *experiments.Result
+		err error
+	)
+	attempts := 0
+	for {
+		attempts++
+		res, err = executeBounded(ctx, job, r, opt.Timeout)
+		if err == nil || invariant.IsViolation(err) || ctx.Err() != nil || attempts > opt.Retries {
+			break
+		}
+		emit(Event{Type: JobRetry, Job: job, Index: i, Err: err})
+		if opt.RetryBackoff > 0 {
+			backoff := opt.RetryBackoff << (attempts - 1)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+			}
+		}
+	}
+	jr := JobResult{Job: job, Result: res, Err: err, Elapsed: time.Since(t0), Key: r.key, Attempts: attempts}
 	if err != nil {
+		var v *invariant.Violation
+		if errors.As(err, &v) {
+			jr.Quarantined = true
+			jr.Diagnostics = v.Snapshot
+		}
 		emit(Event{Type: JobFailed, Job: job, Index: i, JobElapsed: jr.Elapsed, Err: err})
 		return jr
 	}
@@ -340,10 +425,17 @@ func executeBounded(ctx context.Context, job Job, r resolved, timeout time.Durat
 }
 
 // execute builds, runs and harvests one simulation, converting a panic
-// anywhere in the stack into a job error.
+// anywhere in the stack into a job error. An invariant violation —
+// raised as a panic by the always-on checker or surfaced by the final
+// audit — comes back as the *invariant.Violation itself, so runOne can
+// quarantine it instead of retrying a deterministic failure.
 func execute(r resolved) (res *experiments.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
+			if v, ok := p.(*invariant.Violation); ok {
+				err = v
+				return
+			}
 			err = fmt.Errorf("runner: job panicked: %v\n%s", p, debug.Stack())
 		}
 	}()
@@ -351,7 +443,22 @@ func execute(r resolved) (res *experiments.Result, err error) {
 	if err != nil {
 		return nil, err
 	}
+	if r.faults != nil {
+		if _, err := n.InjectFaults(r.faults); err != nil {
+			return nil, err
+		}
+	}
+	if r.watchdog != 0 && n.Checker != nil {
+		n.Checker.SetWatchdogWindow(r.watchdog)
+	}
 	n.Run(r.exp.Duration)
+	if n.Checker != nil {
+		// Terminal audit: corruption inside the last check interval
+		// must not slip out as a plausible result.
+		if verr := n.Checker.Final(); verr != nil {
+			return nil, verr
+		}
+	}
 	return experiments.Harvest(r.exp, r.scheme, r.seed, n), nil
 }
 

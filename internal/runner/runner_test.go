@@ -8,14 +8,19 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/invariant"
 	"repro/internal/network"
 	"repro/internal/sim"
+	"repro/internal/topo"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 )
 
 // scaledRegistry returns every runnable paper experiment with a short
@@ -339,22 +344,187 @@ func TestCacheMissOnCorruptEntry(t *testing.T) {
 	}
 	exp, _ := experiments.ByID("fig7a")
 	key := Key(exp, "CCFIT", 1, core.PresetCCFIT())
-	if _, ok := cache.Get(key); ok {
-		t.Fatal("empty cache reported a hit")
+	if _, ok, gerr := cache.Get(key); ok || gerr != nil {
+		t.Fatalf("empty cache: ok=%v err=%v, want clean miss", ok, gerr)
 	}
 	r := &experiments.Result{ExpID: "fig7a", Scheme: "CCFIT", Seed: 1, Normalized: []float64{0.5}}
 	if err := cache.Put(key, r); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := cache.Get(key)
-	if !ok || got.Normalized[0] != 0.5 {
-		t.Fatalf("round-trip failed: %+v ok=%v", got, ok)
+	got, ok, gerr := cache.Get(key)
+	if !ok || gerr != nil || got.Normalized[0] != 0.5 {
+		t.Fatalf("round-trip failed: %+v ok=%v err=%v", got, ok, gerr)
 	}
-	// Truncate the entry: a corrupt file is a miss, not an error.
+	// A corrupt entry is a miss, but — unlike a clean miss — carries
+	// the decode error so the caller can log and Remove it.
 	if err := os.WriteFile(cache.path(key), []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := cache.Get(key); ok {
-		t.Fatal("corrupt entry reported a hit")
+	if _, ok, gerr := cache.Get(key); ok || gerr == nil {
+		t.Fatalf("corrupt entry: ok=%v err=%v, want miss with error", ok, gerr)
+	}
+	if err := cache.Remove(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, gerr := cache.Get(key); ok || gerr != nil {
+		t.Fatalf("after Remove: ok=%v err=%v, want clean miss", ok, gerr)
+	}
+	if err := cache.Remove(key); err != nil {
+		t.Fatalf("Remove of absent entry errored: %v", err)
+	}
+}
+
+// TestCorruptCacheEntryRecovers is the end-to-end recovery contract:
+// a cache file truncated mid-bytes must not fail the job — the runner
+// logs it, recomputes, overwrites the slot, and the next campaign hits
+// the repaired entry.
+func TestCorruptCacheEntryRecovers(t *testing.T) {
+	exp := scaledRegistry()[0]
+	jobs := Grid([]experiments.Experiment{exp}, []string{"CCFIT"}, []int64{1})
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := mustRun(t, jobs, Options{Workers: 1, Cache: cache})
+	entry := cache.path(first[0].Key)
+	data, err := os.ReadFile(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entry, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := 0
+	second := mustRun(t, jobs, Options{Workers: 1, Cache: cache, Progress: func(ev Event) {
+		if ev.Type == JobCacheCorrupt {
+			corrupt++
+			if ev.Err == nil {
+				t.Error("JobCacheCorrupt event without the decode error")
+			}
+		}
+	}})
+	if corrupt != 1 {
+		t.Fatalf("saw %d JobCacheCorrupt events, want 1", corrupt)
+	}
+	if second[0].Cached {
+		t.Fatal("truncated entry served as a cache hit")
+	}
+	if !bytes.Equal(encode(t, first[0].Result), encode(t, second[0].Result)) {
+		t.Fatal("recomputed result differs from the original")
+	}
+	// The recompute overwrote the corrupt slot.
+	third := mustRun(t, jobs, Options{Workers: 1, Cache: cache})
+	if !third[0].Cached {
+		t.Fatal("repaired entry not served from cache")
+	}
+	if !bytes.Equal(encode(t, first[0].Result), encode(t, third[0].Result)) {
+		t.Fatal("repaired entry differs from the original")
+	}
+}
+
+// TestRetryTransientFailure: a job that crashes twice and then
+// succeeds is healed by Retries without poisoning the campaign.
+func TestRetryTransientFailure(t *testing.T) {
+	var calls atomic.Int32
+	flaky := syntheticExp("xflaky", func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
+		if calls.Add(1) < 3 {
+			panic("synthetic transient crash")
+		}
+		n, err := network.Build(topo.Config1(), p, network.Options{Seed: seed, BinCycles: bin})
+		if err != nil {
+			return nil, err
+		}
+		return n, n.AddFlows([]traffic.Flow{{ID: 0, Src: 0, Dst: 3, Start: 0, End: end, Rate: 0.5}})
+	})
+	retries := 0
+	results, err := Run(context.Background(),
+		[]Job{{Scheme: "CCFIT", Seed: 1, Exp: flaky}},
+		Options{Workers: 1, Retries: 3, RetryBackoff: time.Millisecond, Progress: func(ev Event) {
+			if ev.Type == JobRetry {
+				retries++
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Err != nil {
+		t.Fatalf("retries did not heal the job: %v", r.Err)
+	}
+	if r.Attempts != 3 || retries != 2 {
+		t.Fatalf("Attempts=%d retry events=%d, want 3 and 2", r.Attempts, retries)
+	}
+	if r.Result == nil || r.Quarantined {
+		t.Fatalf("healed job carries bad state: %+v", r)
+	}
+}
+
+// TestQuarantineOnInvariantViolation: a scripted switch wedge trips
+// the forward-progress watchdog; the violation is deterministic, so
+// the job is quarantined on the first attempt — never retried — with
+// the diagnostic snapshot attached and a "quarantined" manifest row.
+func TestQuarantineOnInvariantViolation(t *testing.T) {
+	wedged := syntheticExp("xwedged", func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
+		n, err := network.Build(topo.Config1(), p, network.Options{Seed: seed, BinCycles: bin})
+		if err != nil {
+			return nil, err
+		}
+		// A short burst that is still in flight when the wedge hits.
+		return n, n.AddFlows([]traffic.Flow{{ID: 0, Src: 0, Dst: 3, Start: 0, End: 5_000, Rate: 1.0}})
+	})
+	wedged.Duration = 200_000
+	swA := topo.Config1SwitchA
+	script := &fault.Script{Name: "wedge-swA", Events: []fault.Event{
+		{Kind: fault.SwitchStall, At: 1_000, Switch: &swA}, // Duration 0: wedged for good
+	}}
+	retries := 0
+	opt := Options{Workers: 1, Retries: 3, Progress: func(ev Event) {
+		if ev.Type == JobRetry {
+			retries++
+		}
+	}}
+	start := time.Now()
+	results, err := Run(context.Background(),
+		[]Job{{Scheme: "CCFIT", Seed: 1, Exp: wedged, Faults: script, Watchdog: 10_000}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if !invariant.IsViolation(r.Err) {
+		t.Fatalf("want an invariant violation, got %v", r.Err)
+	}
+	if !strings.Contains(r.Err.Error(), "watchdog") {
+		t.Fatalf("want the watchdog to fire, got %v", r.Err)
+	}
+	if !r.Quarantined || r.Attempts != 1 || retries != 0 {
+		t.Fatalf("violation not quarantined: quarantined=%v attempts=%d retries=%d", r.Quarantined, r.Attempts, retries)
+	}
+	if !strings.Contains(r.Diagnostics, "swA") {
+		t.Fatalf("diagnostics do not name the wedged switch:\n%s", r.Diagnostics)
+	}
+	m := NewManifest("test", opt, start, results)
+	if m.Runs[0].Status != "quarantined" || m.Runs[0].Diagnostics == "" || m.Runs[0].Faults != "wedge-swA" {
+		t.Fatalf("manifest row: %+v", m.Runs[0])
+	}
+	if m.Failed != 1 {
+		t.Fatalf("manifest Failed=%d, want 1", m.Failed)
+	}
+}
+
+// TestFaultScriptInCacheKey: a faulted run must never collide with the
+// fault-free run of the same grid point.
+func TestFaultScriptInCacheKey(t *testing.T) {
+	exp, err := experiments.ByID("fig7a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.PresetCCFIT()
+	base := Key(exp, "CCFIT", 1, p)
+	if k := Key(exp, "CCFIT", 1, p, "faults=x"); k == base {
+		t.Fatal("fault facet not in key")
+	}
+	if k1, k2 := Key(exp, "CCFIT", 1, p, "faults=x"), Key(exp, "CCFIT", 1, p, "faults=y"); k1 == k2 {
+		t.Fatal("distinct fault scripts share a key")
 	}
 }

@@ -43,6 +43,12 @@ type Switch struct {
 	islip *arbiter.ISlip
 	stats Stats
 
+	// stalledUntil is the fault injector's arbitration freeze: while
+	// now < stalledUntil the switch skips arbitration entirely (queues
+	// fill, credits stop flowing downstream) — the scripted model of a
+	// wedged scheduler. Zero (the default) never stalls.
+	stalledUntil sim.Cycle
+
 	// per-cycle scratch: candidate request per (input, output)
 	cand [][]core.Request
 	has  [][]bool
@@ -76,9 +82,11 @@ type outPort struct {
 	// Output stage: a small buffer decoupling the crossbar (which can
 	// run faster than the link, Table I: 5 GB/s crossbar over 2.5 GB/s
 	// links in Config #1) from link serialization. inflight counts
-	// crossbar transfers that have started but not yet landed here.
-	stage    []staged
-	inflight int
+	// crossbar transfers that have started but not yet landed here;
+	// inflightBytes mirrors it in bytes for the conservation ledger.
+	stage         []staged
+	inflight      int
+	inflightBytes int
 }
 
 type staged struct {
@@ -234,6 +242,9 @@ func (s *Switch) update(now sim.Cycle) {
 // eligible requests, runs iSLIP, and starts the granted crossbar
 // transfers.
 func (s *Switch) arbitrate(now sim.Cycle) {
+	if now < s.stalledUntil {
+		return
+	}
 	for _, op := range s.out {
 		op.drain(now)
 	}
@@ -320,9 +331,11 @@ func (s *Switch) start(now sim.Cycle, ip *inPort, op *outPort, r core.Request) {
 	xfer := sim.Cycle((p.Size + s.xbar - 1) / s.xbar)
 	ip.busyUntil = now + xfer
 	op.inflight++
+	op.inflightBytes += p.Size
 	cfq := r.DirectCFQ
 	s.eng.At(now+xfer, func() {
 		op.inflight--
+		op.inflightBytes -= p.Size
 		op.stage = append(op.stage, staged{p: p, cfq: cfq})
 		s.wake() // defensive: the staged packet needs drain ticks
 	})
@@ -332,6 +345,98 @@ func (s *Switch) start(now sim.Cycle, ip *inPort, op *outPort, r core.Request) {
 	// Port ip.idx's transmit half reaches the upstream neighbor.
 	if up := s.out[ip.idx].tx; up != nil {
 		up.SendControl(now, link.Control{Kind: link.Credit, Bytes: p.Size, Dest: p.Dst})
+	}
+}
+
+// Stall freezes arbitration (grants, drains, crossbar launches) for d
+// cycles from now — the fault model of a wedged scheduler. Overlapping
+// stalls extend to the farthest horizon. Arrivals are still admitted
+// (they only queue), so buffers fill and backpressure propagates
+// upstream exactly as a real hung switch would cause.
+func (s *Switch) Stall(d sim.Cycle) {
+	if until := s.eng.Now() + d; until > s.stalledUntil {
+		s.stalledUntil = until
+	}
+}
+
+// StalledUntil returns the cycle arbitration resumes (0 = never stalled).
+func (s *Switch) StalledUntil() sim.Cycle { return s.stalledUntil }
+
+// NumPorts returns the port count.
+func (s *Switch) NumPorts() int { return s.nports }
+
+// TxHalf returns port i's transmit direction (nil when unconnected).
+func (s *Switch) TxHalf(i int) *link.Half { return s.out[i].tx }
+
+// CreditPoolAt returns port i's credit pool toward its neighbor (nil
+// when unconnected) — the invariant checker bounds it by capacity.
+func (s *Switch) CreditPoolAt(i int) *core.CreditPool { return s.out[i].credits }
+
+// BufferedBytes returns every byte the switch currently holds: input
+// RAM, crossbar transfers in flight, and output stages. This is the
+// switch's term in the packet-conservation ledger.
+func (s *Switch) BufferedBytes() int {
+	b := 0
+	for _, ip := range s.in {
+		b += ip.disc.UsedBytes()
+	}
+	for _, op := range s.out {
+		b += op.inflightBytes
+		for _, st := range op.stage {
+			b += st.p.Size
+		}
+	}
+	return b
+}
+
+// DescribeBlocked reports, one line per queued input port, why its
+// arbitration requests cannot be granted right now — the heart of the
+// watchdog's deadlock diagnostic. An empty slice means nothing is
+// queued anywhere on the switch.
+func (s *Switch) DescribeBlocked(now sim.Cycle) []string {
+	var out []string
+	stalled := ""
+	if now < s.stalledUntil {
+		stalled = fmt.Sprintf(" [switch stalled until %d]", s.stalledUntil)
+	}
+	for i, ip := range s.in {
+		if ip.disc.UsedBytes() == 0 {
+			continue
+		}
+		line := fmt.Sprintf("%s p%d in: %dB queued%s", s.name, i, ip.disc.UsedBytes(), stalled)
+		if ip.busyUntil > now {
+			line += fmt.Sprintf("; crossbar busy until %d", ip.busyUntil)
+		}
+		nreq := 0
+		ip.disc.Requests(now, func(r core.Request) {
+			nreq++
+			line += "; " + s.describeRequest(now, r)
+		})
+		if nreq == 0 {
+			line += "; no eligible request (queues stopped or heads gated)"
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// describeRequest explains one candidate's fate against its output.
+func (s *Switch) describeRequest(now sim.Cycle, r core.Request) string {
+	op := s.out[r.Out]
+	head := fmt.Sprintf("head %s wants out%d:", r.Pkt, r.Out)
+	switch {
+	case op.tx == nil:
+		return head + " output unconnected"
+	case len(op.stage)+op.inflight >= stageCap:
+		return head + " output stage full"
+	case op.credits.Avail(r.Pkt.Dst) < r.Pkt.Size:
+		return fmt.Sprintf("%s no credits (have %d, need %d)", head, op.credits.Avail(r.Pkt.Dst), r.Pkt.Size)
+	case op.tx.Down():
+		return head + " link down"
+	case !op.tx.Free(now):
+		return fmt.Sprintf("%s link busy until %d", head, op.tx.FreeAt())
+	default:
+		return head + " grantable"
 	}
 }
 
