@@ -1,17 +1,12 @@
 package experiments
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
-	"path/filepath"
-	"sort"
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/testutil"
 )
 
 // The golden digests pin the simulator's observable behaviour: a
@@ -56,13 +51,7 @@ func goldenDigest(t *testing.T, expID, scheme string, scale float64) string {
 		t.Fatal(err)
 	}
 	n.Run(exp.Duration)
-	r := Harvest(exp, scheme, 1, n)
-	b, err := json.Marshal(r)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:])
+	return testutil.MustJSONDigest(t, Harvest(exp, scheme, 1, n))
 }
 
 func TestGoldenDigests(t *testing.T) {
@@ -103,46 +92,5 @@ func TestGoldenDigests(t *testing.T) {
 		got[j.key] = results[i]
 	}
 
-	if *updateGolden {
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		keys := make([]string, 0, len(got))
-		for k := range got {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		ordered := make(map[string]string, len(got))
-		for _, k := range keys {
-			ordered[k] = got[k]
-		}
-		b, err := json.MarshalIndent(ordered, "", "  ")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(goldenPath, append(b, '\n'), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("wrote %d digests to %s", len(got), goldenPath)
-		return
-	}
-
-	raw, err := os.ReadFile(goldenPath)
-	if err != nil {
-		t.Fatalf("missing golden digests (run with -update-golden to create): %v", err)
-	}
-	var want map[string]string
-	if err := json.Unmarshal(raw, &want); err != nil {
-		t.Fatal(err)
-	}
-	if len(want) != len(got) {
-		t.Errorf("golden file has %d digests, run produced %d", len(want), len(got))
-	}
-	for k, w := range want {
-		if g, ok := got[k]; !ok {
-			t.Errorf("%s: no digest produced", k)
-		} else if g != w {
-			t.Errorf("%s: digest %s, want %s (simulated outcome changed)", k, g, w)
-		}
-	}
+	testutil.CompareGoldenMap(t, goldenPath, got, *updateGolden)
 }

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/topo"
+)
+
+// mkResult fabricates a per-seed result for Aggregate edge cases —
+// aggregation is pure arithmetic over the Result struct, so synthetic
+// inputs pin its corner behaviour without simulations.
+func mkResult(exp Experiment, seed int64, meanNorm float64, pkts int64, series []float64) *Result {
+	r := &Result{ExpID: exp.ID, Scheme: "CCFIT", Seed: seed, Normalized: series}
+	r.Summary.MeanNormalized = meanNorm
+	r.Summary.DeliveredPkts = pkts
+	return r
+}
+
+// TestAggregateEdgeCases covers the corners a multi-seed campaign can
+// feed the aggregator: a single replicate (defined but zero spread),
+// all-zero-delivery runs (zeros, never NaN), and results whose series
+// lengths disagree (a truncated run mixed into a campaign).
+func TestAggregateEdgeCases(t *testing.T) {
+	t.Parallel()
+	exp, err := ByID("fig7a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		results []*Result
+		check   func(t *testing.T, rep *Replication)
+	}{
+		{
+			name:    "single replicate",
+			results: []*Result{mkResult(exp, 1, 0.25, 1000, []float64{0.2, 0.3})},
+			check: func(t *testing.T, rep *Replication) {
+				if rep.MeanNormalized != 0.25 || rep.StdNormalized != 0 {
+					t.Errorf("single replicate: mean %v sd %v, want 0.25 and 0", rep.MeanNormalized, rep.StdNormalized)
+				}
+				if rep.MeanDelivered != 1000 || rep.StdDelivered != 0 {
+					t.Errorf("single replicate delivered: %v ± %v", rep.MeanDelivered, rep.StdDelivered)
+				}
+				if len(rep.SeriesMean) != 2 || rep.SeriesMean[0] != 0.2 || rep.SeriesMean[1] != 0.3 {
+					t.Errorf("series mean %v, want the lone series", rep.SeriesMean)
+				}
+			},
+		},
+		{
+			name: "zero delivery",
+			results: []*Result{
+				mkResult(exp, 1, 0, 0, []float64{0, 0}),
+				mkResult(exp, 2, 0, 0, []float64{0, 0}),
+			},
+			check: func(t *testing.T, rep *Replication) {
+				for name, v := range map[string]float64{
+					"meanNorm": rep.MeanNormalized, "stdNorm": rep.StdNormalized,
+					"meanDel": rep.MeanDelivered, "stdDel": rep.StdDelivered,
+				} {
+					if v != 0 || math.IsNaN(v) {
+						t.Errorf("zero-delivery %s = %v, want exactly 0", name, v)
+					}
+				}
+			},
+		},
+		{
+			name: "mixed length series",
+			results: []*Result{
+				mkResult(exp, 1, 0.3, 10, []float64{0.4, 0.4, 0.4}),
+				mkResult(exp, 2, 0.3, 10, []float64{0.2}),
+			},
+			check: func(t *testing.T, rep *Replication) {
+				// The first result sizes the mean series; bins a shorter
+				// series never reached still divide by the replicate
+				// count (a truncated run contributes zero throughput,
+				// which is what it measured).
+				want := []float64{0.3, 0.2, 0.2}
+				if len(rep.SeriesMean) != len(want) {
+					t.Fatalf("series mean %v, want length %d", rep.SeriesMean, len(want))
+				}
+				for i := range want {
+					if math.Abs(rep.SeriesMean[i]-want[i]) > 1e-12 {
+						t.Errorf("bin %d: %v, want %v", i, rep.SeriesMean[i], want[i])
+					}
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Aggregate(exp, "CCFIT", tc.results)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, rep)
+		})
+	}
+}
+
+// TestHarvestZeroDelivery: a network that never carried a packet must
+// summarise to zeros — tables and manifests read 0, never NaN or ±Inf
+// from the latency percentiles of an empty histogram.
+func TestHarvestZeroDelivery(t *testing.T) {
+	t.Parallel()
+	exp, err := ByID("fig7a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.Duration = ms(0.2)
+	n, err := network.Build(topo.Config1(), core.PresetCCFIT(), network.Options{Seed: 1, BinCycles: exp.Bin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(exp.Duration) // no flows installed: nothing moves
+	r := Harvest(exp, "CCFIT", 1, n)
+	s := r.Summary
+	for name, v := range map[string]float64{
+		"avg": s.AvgLatencyNS, "max": s.MaxLatencyNS,
+		"p50": s.P50LatencyNS, "p99": s.P99LatencyNS,
+		"meanNorm": s.MeanNormalized,
+	} {
+		if v != 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("zero-delivery summary %s = %v, want exactly 0", name, v)
+		}
+	}
+	if s.DeliveredPkts != 0 || s.DeliveredBytes != 0 {
+		t.Errorf("phantom delivery: %d pkts / %d B", s.DeliveredPkts, s.DeliveredBytes)
+	}
+	for i, v := range r.Normalized {
+		if v != 0 {
+			t.Errorf("bin %d nonzero throughput %v on an idle network", i, v)
+		}
+	}
+}

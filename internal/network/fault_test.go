@@ -1,7 +1,6 @@
 package network
 
 import (
-	"fmt"
 	"strings"
 	"testing"
 
@@ -9,6 +8,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/invariant"
 	"repro/internal/sim"
+	"repro/internal/testutil"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -28,23 +28,23 @@ func hotspotFlows(e sim.Cycle) []traffic.Flow {
 // stats, latency shape, injector activity, and the engine clock.
 func digest(t *testing.T, n *Network) string {
 	t.Helper()
-	var b strings.Builder
+	var d testutil.Digest
 	op, ob := n.TotalOffered()
 	dp, db := n.TotalDelivered()
-	fmt.Fprintf(&b, "offered=%d/%d delivered=%d/%d now=%d\n", op, ob, dp, db, n.Eng.Now())
+	d.Addf("offered=%d/%d delivered=%d/%d now=%d", op, ob, dp, db, n.Eng.Now())
 	for _, nd := range n.Nodes {
-		fmt.Fprintf(&b, "node%d %+v\n", nd.ID(), nd.Stats())
+		d.Addf("node%d %+v", nd.ID(), nd.Stats())
 	}
 	for _, sw := range n.Switches {
-		fmt.Fprintf(&b, "%s %+v\n", sw.Name(), sw.Stats())
+		d.Addf("%s %+v", sw.Name(), sw.Stats())
 	}
-	fmt.Fprintf(&b, "p50=%v p99=%v max=%v\n",
+	d.Addf("p50=%v p99=%v max=%v",
 		n.Collector.LatencyPercentileNS(0.50), n.Collector.LatencyPercentileNS(0.99), n.Collector.MaxLatencyNS())
 	if in := n.FaultInjector(); in != nil {
-		fmt.Fprintf(&b, "faults %+v\n", in.Stats())
+		d.Addf("faults %+v", in.Stats())
 	}
-	fmt.Fprintf(&b, "pool allocs=%d reuses=%d releases=%d\n", n.pool.Allocs, n.pool.Reuses, n.pool.Releases)
-	return b.String()
+	d.Addf("pool allocs=%d reuses=%d releases=%d", n.pool.Allocs, n.pool.Reuses, n.pool.Releases)
+	return d.String()
 }
 
 // interSwitchFlap is the acceptance scenario: Config #1's inter-switch
@@ -86,7 +86,7 @@ func TestFaultReplayDeterministic(t *testing.T) {
 	b := runFaulted(t, 41, interSwitchFlap(false))
 	da, db := digest(t, a), digest(t, b)
 	if da != db {
-		t.Fatalf("replay diverged:\n--- first ---\n%s--- second ---\n%s", da, db)
+		t.Fatalf("replay diverged at %s", testutil.FirstDiff(da, db))
 	}
 	if a.FaultInjector().Stats().Flaps != 1 {
 		t.Fatalf("flap not applied: %+v", a.FaultInjector().Stats())

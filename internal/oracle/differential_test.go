@@ -1,0 +1,44 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestDifferentialAllSchemes is the quick-tier differential: every
+// stock scenario under every paper scheme must match the reference
+// simulator exactly on delivered counts and sit inside the latency
+// band. This is the oracle's core guarantee and it runs on every
+// `go test ./...`.
+func TestDifferentialAllSchemes(t *testing.T) {
+	for _, sc := range Scenarios() {
+		for _, name := range PaperSchemes {
+			sc, name := sc, name
+			t.Run(sc.Name+"/"+name, func(t *testing.T) {
+				t.Parallel()
+				p, err := experiments.SchemeByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := RunDiff(sc, name, p, 1, DefaultBand())
+				if err != nil {
+					t.Fatal(err)
+				}
+				logBandHeadroom(t, rep)
+				if !rep.OK() {
+					t.Error(rep)
+				}
+				if rep.EngPkts == 0 {
+					t.Error("scenario delivered zero packets — vacuous differential")
+				}
+			})
+		}
+	}
+}
+
+// logBandHeadroom prints per-flow latency statistics in verbose runs,
+// the data the DefaultBand constants were calibrated from.
+func logBandHeadroom(t *testing.T, rep *DiffReport) {
+	t.Logf("%s/%s: ref=%d eng=%d pkts", rep.Scenario, rep.Scheme, rep.RefPkts, rep.EngPkts)
+}

@@ -1,0 +1,161 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/network"
+)
+
+// TestPropertiesFixedConfigs pins the metamorphic suite on a few
+// hand-written configurations covering each topology family and both
+// shared- and per-destination-credit schemes.
+func TestPropertiesFixedConfigs(t *testing.T) {
+	t.Parallel()
+	cases := []FuzzConfig{
+		{
+			Label: "fixed-star4-ccfit", Topo: "star4", Scheme: "CCFIT", Seed: 7,
+			Flows: []RefFlow{
+				{ID: 0, Src: 0, Dst: 3, Start: 0, End: 12_000, Rate: 0.40, Size: 2048},
+				{ID: 1, Src: 1, Dst: 2, Start: 500, End: 9_000, Rate: 0.25, Size: 700},
+				{ID: 2, Src: 2, Dst: 0, Start: 2_000, End: 15_000, Rate: 0.30, Size: 1024},
+			},
+		},
+		{
+			Label: "fixed-config1-voqnet", Topo: "config1", Scheme: "VOQnet", Seed: 11,
+			Flows: []RefFlow{
+				{ID: 0, Src: 0, Dst: 4, Start: 0, End: 10_000, Rate: 0.35, Size: 1500},
+				{ID: 1, Src: 5, Dst: 1, Start: 1_000, End: 14_000, Rate: 0.45, Size: 512},
+			},
+		},
+		{
+			Label: "fixed-tree22-1q", Topo: "tree22", Scheme: "1Q", Seed: 3,
+			Flows: []RefFlow{
+				{ID: 0, Src: 0, Dst: 3, Start: 0, End: 8_000, Rate: 0.55, Size: 2048},
+				{ID: 1, Src: 2, Dst: 1, Start: 0, End: 8_000, Rate: 0.50, Size: 256},
+			},
+		},
+	}
+	for _, cfg := range cases {
+		cfg := cfg
+		t.Run(cfg.Label, func(t *testing.T) {
+			t.Parallel()
+			for _, err := range CheckConfig(cfg) {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestCCTMonotonic checks the paper's throttling-table structure:
+// deeper congestion-control-table indices must never grant a shorter
+// inter-request distance, and a deeper CCTI must never let MORE
+// packets through a fixed horizon.
+func TestCCTMonotonic(t *testing.T) {
+	t.Parallel()
+	for _, err := range CheckCCTMonotonic() {
+		t.Error(err)
+	}
+}
+
+// TestIRDStepMonotonic checks that widening the IRD step tightens the
+// hot flows' delivered bytes (within tolerance) on the paper's
+// hot-spot scenario.
+func TestIRDStepMonotonic(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("multi-run hot-spot scenario; skipped in -short")
+	}
+	for _, err := range CheckIRDStepMonotonic(1, 0.05) {
+		t.Error(err)
+	}
+}
+
+// TestSchemeDominance checks the paper's headline ordering under the
+// hot-spot scenario: VOQnet >= CCFIT >= {FBICM, ITh} >= 1Q on
+// delivered bytes within tolerance, and every isolating scheme
+// recovers the victim flow versus the 1Q baseline.
+func TestSchemeDominance(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("five 0.75 ms hot-spot runs; skipped in -short")
+	}
+	for _, err := range CheckSchemeDominance(1, 0.05) {
+		t.Error(err)
+	}
+}
+
+// TestSelfCheck proves the harness has teeth: both seeded credit-pool
+// faults (spurious refund, leaking refund) must be caught.
+func TestSelfCheck(t *testing.T) {
+	t.Parallel()
+	if err := SelfCheck(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runWithSkew executes the star scenario under CCFIT with the
+// credit-pool refund fault armed on every endpoint (skew 0 = healthy).
+func runWithSkew(t *testing.T, sc DiffScenario, skew int) *EngineRun {
+	t.Helper()
+	p, err := experiments.SchemeByName("CCFIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, tb := sc.Build()
+	run, err := RunEngine(tp, p, network.Options{Seed: 1, TieBreak: tb}, sc.Flows,
+		func(n *network.Network) {
+			for _, nd := range n.Nodes {
+				nd.CreditPool().SetDebugSkew(skew)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// TestSelfCheckFaultsAreDirectional pins WHICH mechanism catches each
+// seeded fault, so a refactor can't silently route both faults through
+// one check (or none): the spurious refund must trip the runtime
+// credit-bounds invariant, the leak the post-drain restitution audit.
+func TestSelfCheckFaultsAreDirectional(t *testing.T) {
+	t.Parallel()
+	sc := Scenarios()[0]
+	for _, tc := range []struct {
+		skew int
+		want string
+	}{
+		{+1, "exceeds capacity"},
+		{-256, "credit leaked"},
+	} {
+		run := runWithSkew(t, sc, tc.skew)
+		found := false
+		for _, v := range run.Violations {
+			if strings.Contains(v, tc.want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("skew %+d: no violation mentioning %q; got %q", tc.skew, tc.want, run.Violations)
+		}
+	}
+}
+
+// TestHealthyRunHasNoViolations is the self-check's control group: the
+// same scenario with no seeded fault must produce zero violations,
+// drain, and reject nothing — otherwise the fault tests above prove
+// only that the harness complains about everything.
+func TestHealthyRunHasNoViolations(t *testing.T) {
+	t.Parallel()
+	run := runWithSkew(t, Scenarios()[0], 0)
+	if len(run.Violations) != 0 || !run.Drained || run.Rejected != 0 {
+		t.Fatalf("healthy control run: violations=%q drained=%v rejected=%d",
+			run.Violations, run.Drained, run.Rejected)
+	}
+	if _, db := run.Net.TotalDelivered(); db == 0 {
+		t.Fatal("healthy control run delivered nothing (vacuous scenario)")
+	}
+}

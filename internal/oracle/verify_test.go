@@ -1,0 +1,29 @@
+package oracle
+
+import (
+	"context"
+	"testing"
+)
+
+func TestVerifyUnknownMode(t *testing.T) {
+	t.Parallel()
+	if _, err := Verify(context.Background(), VerifyOptions{Mode: "exhaustive"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestVerifyFuzzMode: fuzz mode must run only the fuzz section, honour
+// FuzzIters, and report cleanly.
+func TestVerifyFuzzMode(t *testing.T) {
+	t.Parallel()
+	rep, err := Verify(context.Background(), VerifyOptions{Mode: "fuzz", Seed: 42, FuzzIters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sections) != 1 || rep.Sections[0].Name != "fuzz" {
+		t.Fatalf("fuzz mode ran sections %+v, want only fuzz", rep.Sections)
+	}
+	if !rep.OK() || rep.Findings() != 0 {
+		t.Fatalf("fuzz campaign found: %+v", rep.Sections)
+	}
+}

@@ -1,0 +1,92 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDisabled: with both paths empty, Start must be a no-op whose
+// stop function succeeds and creates nothing.
+func TestDisabled(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCPUAndHeapProfiles: both profiles requested — the files must
+// exist and be non-empty after stop (pprof writes a gzipped protobuf;
+// content is the runtime's business, existence and non-emptiness are
+// ours).
+func TestCPUAndHeapProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("%s not written: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+// TestHeapOnly: a heap profile without CPU profiling must work (the
+// -memprofile-only invocation).
+func TestHeapOnly(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "mem.out")
+	stop, err := Start("", mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(mem); err != nil || fi.Size() == 0 {
+		t.Fatalf("heap profile missing or empty: %v", err)
+	}
+}
+
+// TestBadCPUPath: an uncreatable CPU profile path must fail Start
+// immediately (the campaign should die before simulating for an hour
+// and then losing the profile).
+func TestBadCPUPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out"), ""); err == nil {
+		t.Fatal("uncreatable CPU path accepted")
+	}
+}
+
+// TestBadMemPath: an uncreatable heap path surfaces at stop — and must
+// not break CPU profile finalisation before it.
+func TestBadMemPath(t *testing.T) {
+	cpu := filepath.Join(t.TempDir(), "cpu.out")
+	stop, err := Start(cpu, filepath.Join(t.TempDir(), "no", "such", "dir", "mem.out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("uncreatable heap path not reported")
+	}
+	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+		t.Fatalf("CPU profile lost when heap write failed: %v", err)
+	}
+}

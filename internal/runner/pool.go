@@ -1,0 +1,50 @@
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) across a bounded worker
+// pool and blocks until the in-flight calls finish. workers <= 0 uses
+// one worker per core; the pool never exceeds n. When ctx is cancelled
+// no further indices are dispatched (calls already running complete),
+// and the returned slice reports which indices were started — the
+// caller decides how to represent the rest.
+//
+// This is the fan-out primitive under Run; the oracle's fuzzing
+// campaigns reuse it directly for property checks, which are
+// independent simulations just like jobs.
+func ForEach(ctx context.Context, n, workers int, fn func(int)) (started []bool) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	started = make([]bool, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+			started[i] = true
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return started
+}

@@ -1,0 +1,68 @@
+package runner
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsAll(t *testing.T) {
+	t.Parallel()
+	var hits [100]int32
+	started := ForEach(context.Background(), len(hits), 4, func(i int) {
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+		if !started[i] {
+			t.Fatalf("index %d not marked started", i)
+		}
+	}
+}
+
+func TestForEachDefaultWorkers(t *testing.T) {
+	t.Parallel()
+	var n int32
+	ForEach(context.Background(), 10, 0, func(int) { atomic.AddInt32(&n, 1) })
+	if n != 10 {
+		t.Fatalf("ran %d of 10 with default workers", n)
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	t.Parallel()
+	if started := ForEach(context.Background(), 0, 4, func(int) {
+		t.Error("fn called with no items")
+	}); len(started) != 0 {
+		t.Fatalf("started flags for %d items", len(started))
+	}
+}
+
+// TestForEachCancellation: once the context dies, unstarted indices
+// stay unstarted — and the started flags say which is which.
+func TestForEachCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	started := ForEach(ctx, 1000, 2, func(i int) {
+		if atomic.AddInt32(&ran, 1) == 3 {
+			cancel()
+		}
+	})
+	total := 0
+	for i, s := range started {
+		if s {
+			total++
+		} else if i == 0 {
+			t.Error("first index never started")
+		}
+	}
+	if total >= 1000 {
+		t.Fatal("cancellation ignored: every index started")
+	}
+	if int(ran) != total {
+		t.Fatalf("%d callbacks for %d started flags", ran, total)
+	}
+}

@@ -32,7 +32,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"runtime/debug"
 	"strings"
 	"sync"
@@ -263,19 +262,8 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error) {
 			len(invalid), strings.Join(invalid, "\n  "), strings.Join(experiments.ValidIDs(), " "))
 	}
 
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-
 	var (
-		out     = make([]JobResult, len(jobs))
-		started = make([]bool, len(jobs))
-		idx     = make(chan int)
-		wg      sync.WaitGroup
+		out = make([]JobResult, len(jobs))
 
 		mu       sync.Mutex // serializes done counting and Progress calls
 		done     int
@@ -301,26 +289,9 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error) {
 		}
 	}
 
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				out[i] = runOne(ctx, jobs[i], rs[i], i, opt, emit)
-			}
-		}()
-	}
-feed:
-	for i := range jobs {
-		select {
-		case idx <- i:
-			started[i] = true
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(idx)
-	wg.Wait()
+	started := ForEach(ctx, len(jobs), opt.Workers, func(i int) {
+		out[i] = runOne(ctx, jobs[i], rs[i], i, opt, emit)
+	})
 
 	if err := ctx.Err(); err != nil {
 		for i := range out {
