@@ -291,6 +291,7 @@ func (n *Node) stageHasRoom() bool {
 func (n *Node) pickAdVOQ(now sim.Cycle) int {
 	perDest, _ := n.disc.(core.DestOccupancy)
 	stalled := false
+	//lint:ignore hotpath-alloc predicate closure is non-escaping (Pick never stores it); gc stack-allocates it — BenchmarkEngineStep shows zero allocs/op
 	i := n.advoqRR.Pick(func(i int) bool {
 		h := n.advoqs[i].Head()
 		if h == nil {
@@ -325,6 +326,7 @@ func (n *Node) arbitrate(now sim.Cycle) {
 		return
 	}
 	reqs := n.reqs[:0]
+	//lint:ignore hotpath-alloc visitor closure is non-escaping (Requests only calls it); gc stack-allocates it
 	n.disc.Requests(now, func(r core.Request) {
 		if r.Pkt.Size <= n.credits.Avail(r.Pkt.Dst) {
 			reqs = append(reqs, r)

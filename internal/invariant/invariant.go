@@ -27,6 +27,8 @@
 // drop is a scripted link-flap with the drop policy (package fault);
 // anything else that loses or duplicates a packet breaks the equation
 // within one check interval.
+//
+//lint:file-ignore hotpath-alloc checker self-paces (runs every CheckEvery cycles, sleeping in between) and formats diagnostics only on violation; it is not on the per-cycle hot path
 package invariant
 
 import (

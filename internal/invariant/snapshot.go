@@ -1,3 +1,4 @@
+//lint:file-ignore hotpath-alloc snapshot rendering runs only after a violation is detected; allocation is irrelevant there
 package invariant
 
 import (

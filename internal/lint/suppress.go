@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// RuleBadDirective is the pseudo-rule reported for malformed
+// //lint:ignore directives. A suppression that names no known rule or
+// gives no reason is dead weight that LOOKS like a justification, so
+// it fails the build like any other finding.
+const RuleBadDirective = "lint-directive"
+
+// suppression is one parsed //lint:ignore or //lint:file-ignore
+// directive.
+type suppression struct {
+	file     string          // absolute filename
+	line     int             // line the directive comment starts on
+	rules    map[string]bool // rule ids it silences
+	fileWide bool
+	reason   string
+}
+
+const (
+	ignorePrefix     = "//lint:ignore"
+	fileIgnorePrefix = "//lint:file-ignore"
+)
+
+// parseFileSuppressions extracts every suppression directive in f.
+// Malformed directives come back as lint-directive diagnostics (with
+// File left blank; the caller fills in the module-relative name).
+//
+// Grammar, one directive per comment line:
+//
+//	//lint:ignore RULE[,RULE...] reason text
+//	//lint:file-ignore RULE[,RULE...] reason text
+//
+// A line directive silences the named rules on its own line and the
+// line directly below it, so it can sit either at the end of the
+// offending line or alone above it. A file directive silences them in
+// the whole file.
+func parseFileSuppressions(fset *token.FileSet, f *ast.File, known map[string]bool) ([]suppression, []Diagnostic) {
+	var supps []suppression
+	var bad []Diagnostic
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			var rest string
+			var fileWide bool
+			switch {
+			case strings.HasPrefix(text, fileIgnorePrefix):
+				rest, fileWide = text[len(fileIgnorePrefix):], true
+			case strings.HasPrefix(text, ignorePrefix):
+				rest = text[len(ignorePrefix):]
+			default:
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			report := func(msg string) {
+				bad = append(bad, Diagnostic{
+					Rule: RuleBadDirective, Line: pos.Line, Col: pos.Column,
+					Message:    msg,
+					Suggestion: "write //lint:ignore RULE reason (rules comma-separated, reason mandatory)",
+				})
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				report("suppression directive names no rule")
+				continue
+			}
+			rules := map[string]bool{}
+			okRules := true
+			for _, r := range strings.Split(fields[0], ",") {
+				r = strings.TrimSpace(r)
+				if r == "" || !known[r] {
+					report("suppression names unknown rule " + strconv.Quote(r))
+					okRules = false
+					break
+				}
+				rules[r] = true
+			}
+			if !okRules {
+				continue
+			}
+			reason := strings.TrimSpace(strings.Join(fields[1:], " "))
+			if reason == "" {
+				report("suppression of " + fields[0] + " gives no reason")
+				continue
+			}
+			supps = append(supps, suppression{
+				file:     pos.Filename,
+				line:     pos.Line,
+				rules:    rules,
+				fileWide: fileWide,
+				reason:   reason,
+			})
+		}
+	}
+	return supps, bad
+}
+
+// suppressed reports whether d is silenced by any directive in supps.
+// d.File is module-relative while suppressions carry absolute names,
+// so matching compares path suffixes — both always share the file's
+// slash-separated tail.
+func suppressed(d Diagnostic, supps []suppression) bool {
+	for _, s := range supps {
+		if !s.rules[d.Rule] {
+			continue
+		}
+		if !sameFile(s.file, d.File) {
+			continue
+		}
+		if s.fileWide || d.Line == s.line || d.Line == s.line+1 {
+			return true
+		}
+	}
+	return false
+}
+
+func sameFile(abs, rel string) bool {
+	abs = strings.ReplaceAll(abs, "\\", "/")
+	rel = strings.ReplaceAll(rel, "\\", "/")
+	return abs == rel || strings.HasSuffix(abs, "/"+rel)
+}

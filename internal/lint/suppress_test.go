@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSuppressSrc(t *testing.T, src string) ([]suppression, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	known := map[string]bool{"determinism": true, "hotpath-alloc": true, "pool-hygiene": true}
+	return parseFileSuppressions(fset, f, known)
+}
+
+func TestParseSuppressionsValid(t *testing.T) {
+	src := `package s
+
+//lint:file-ignore determinism fixture is wall-clock test scaffolding
+
+func f() {
+	//lint:ignore hotpath-alloc scratch literal, hoisted in PR 9
+	_ = 1
+	_ = 2 //lint:ignore determinism,pool-hygiene both rules misfire on generated code
+}
+`
+	supps, bad := parseSuppressSrc(t, src)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed-directive diagnostics: %v", bad)
+	}
+	if len(supps) != 3 {
+		t.Fatalf("got %d suppressions, want 3", len(supps))
+	}
+	fileWide := supps[0]
+	if !fileWide.fileWide || !fileWide.rules["determinism"] || fileWide.line != 3 {
+		t.Errorf("file-ignore parsed wrong: %+v", fileWide)
+	}
+	single := supps[1]
+	if single.fileWide || !single.rules["hotpath-alloc"] || len(single.rules) != 1 || single.line != 6 {
+		t.Errorf("line ignore parsed wrong: %+v", single)
+	}
+	if single.reason != "scratch literal, hoisted in PR 9" {
+		t.Errorf("reason lost: %q", single.reason)
+	}
+	multi := supps[2]
+	if !multi.rules["determinism"] || !multi.rules["pool-hygiene"] || len(multi.rules) != 2 || multi.line != 8 {
+		t.Errorf("comma-list ignore parsed wrong: %+v", multi)
+	}
+}
+
+func TestParseSuppressionsMalformed(t *testing.T) {
+	src := `package s
+
+//lint:ignore
+//lint:ignore determinism
+//lint:ignore not-a-rule because reasons
+`
+	supps, bad := parseSuppressSrc(t, src)
+	if len(supps) != 0 {
+		t.Fatalf("malformed directives must yield no suppressions, got %v", supps)
+	}
+	if len(bad) != 3 {
+		t.Fatalf("got %d malformed-directive diagnostics, want 3: %v", len(bad), bad)
+	}
+	for _, d := range bad {
+		if d.Rule != RuleBadDirective {
+			t.Errorf("malformed directive reported under rule %q, want %q", d.Rule, RuleBadDirective)
+		}
+	}
+	checks := []struct {
+		line   int
+		substr string
+	}{
+		{3, "names no rule"},
+		{4, "gives no reason"},
+		{5, `unknown rule "not-a-rule"`},
+	}
+	for i, c := range checks {
+		if bad[i].Line != c.line || !strings.Contains(bad[i].Message, c.substr) {
+			t.Errorf("diagnostic %d = %d %q, want line %d containing %q",
+				i, bad[i].Line, bad[i].Message, c.line, c.substr)
+		}
+	}
+}
+
+func TestSuppressedMatching(t *testing.T) {
+	supp := suppression{
+		file:  "/abs/path/internal/x/x.go",
+		line:  10,
+		rules: map[string]bool{"determinism": true},
+	}
+	diag := func(line int, rule, file string) Diagnostic {
+		return Diagnostic{Rule: rule, File: file, Line: line}
+	}
+	rel := "internal/x/x.go"
+	cases := []struct {
+		name string
+		d    Diagnostic
+		want bool
+	}{
+		{"same line", diag(10, "determinism", rel), true},
+		{"line below", diag(11, "determinism", rel), true},
+		{"two below", diag(12, "determinism", rel), false},
+		{"line above", diag(9, "determinism", rel), false},
+		{"other rule", diag(10, "hotpath-alloc", rel), false},
+		{"other file", diag(10, "determinism", "internal/y/x.go"), false},
+	}
+	for _, c := range cases {
+		if got := suppressed(c.d, []suppression{supp}); got != c.want {
+			t.Errorf("%s: suppressed = %v, want %v", c.name, got, c.want)
+		}
+	}
+
+	wide := supp
+	wide.fileWide = true
+	if !suppressed(diag(999, "determinism", rel), []suppression{wide}) {
+		t.Error("file-wide suppression must cover every line of the file")
+	}
+	if suppressed(diag(999, "pool-hygiene", rel), []suppression{wide}) {
+		t.Error("file-wide suppression must still be rule-scoped")
+	}
+}

@@ -1,0 +1,93 @@
+// Package detviol seeds determinism-rule violations for the golden
+// tests. Every `want RULE "substr"` comment is a diagnostic the suite
+// must emit on that line; code without one must stay clean.
+package detviol
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// WallClock draws wall-clock time inside simulation scope.
+func WallClock() int64 {
+	t := time.Now() // want determinism "time.Now"
+	return t.UnixNano()
+}
+
+// Elapsed measures wall-clock duration.
+func Elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want determinism "time.Since"
+}
+
+// GlobalRand draws from the shared process stream.
+func GlobalRand() int {
+	return rand.Intn(6) // want determinism "math/rand.Intn"
+}
+
+// PrivateRand is fine: a component-private stream (the Engine.RNG
+// pattern), not the global one.
+func PrivateRand(r *rand.Rand) int {
+	return r.Intn(6)
+}
+
+// Spawn puts work on the Go runtime scheduler.
+func Spawn(f func()) {
+	go f() // want determinism "go statement"
+}
+
+// Values collects map values in iteration order with no sort after:
+// the classic order-sensitive map range.
+func Values(m map[int]int) []int {
+	var out []int
+	for _, v := range m { // want determinism "range over map"
+		out = append(out, v)
+	}
+	return out
+}
+
+// Emit calls out once per element: call order leaks iteration order.
+func Emit(m map[int]int, emit func(int)) {
+	for k := range m { // want determinism "range over map"
+		emit(k)
+	}
+}
+
+// Total is order-insensitive: commutative accumulation only.
+func Total(m map[int]int64) int64 {
+	var sum int64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Keys is the sanctioned collect-then-sort idiom.
+func Keys(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Scale writes each element keyed by the range key: distinct
+// iterations touch distinct elements, so order cannot matter.
+func Scale(m map[int]int) {
+	for k := range m {
+		m[k] *= 2
+	}
+}
+
+// AnyPending uses the constant-store latch: every iteration that
+// writes at all writes the same value.
+func AnyPending(m map[int]bool) bool {
+	found := false
+	for _, v := range m {
+		if v {
+			found = true
+		}
+	}
+	return found
+}

@@ -1,0 +1,31 @@
+// Package errviol seeds unchecked-error violations for the golden
+// tests, next to each documented exemption.
+package errviol
+
+import (
+	"os"
+	"strings"
+)
+
+// RemoveArtifact drops os.Remove's error on the floor.
+func RemoveArtifact(path string) {
+	os.Remove(path) // want unchecked-err "error-returning Remove discarded"
+}
+
+// CloseNow drops a Close error that can report lost writes.
+func CloseNow(f *os.File) {
+	f.Close() // want unchecked-err "error-returning Close discarded"
+}
+
+// Exempt demonstrates every accepted form: deferred cleanup, the
+// never-fails strings.Builder sink, and an explicit blank assignment.
+func Exempt(f *os.File, path string) (string, error) {
+	defer f.Close()
+	var b strings.Builder
+	b.WriteString(path)
+	if err := f.Sync(); err != nil {
+		return "", err
+	}
+	_ = os.Remove(path)
+	return b.String(), nil
+}

@@ -1,0 +1,82 @@
+// Package poolviol seeds pkt.Pool ownership violations for the golden
+// tests: leaks, double releases, releases after handoff, and discarded
+// acquisitions — plus the sanctioned conditional-transfer idiom that
+// must stay clean.
+package poolviol
+
+import (
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// Queue is a fake component holding a pool and a packet queue.
+type Queue struct {
+	pool *pkt.Pool
+	ids  *pkt.IDGen
+	q    []*pkt.Packet
+}
+
+// LeakEnd acquires and falls off the end still owning the packet.
+func (q *Queue) LeakEnd(src, dst int, now sim.Cycle) {
+	p := q.pool.NewData(q.ids, src, dst, 0, 64, now) // want pool-hygiene "neither released nor ownership-transferred"
+	p.FECN = true
+}
+
+// LeakReturn leaks on the early-return path only.
+func (q *Queue) LeakReturn(src, dst int, now sim.Cycle, drop bool) {
+	p := q.pool.NewData(q.ids, src, dst, 0, 64, now)
+	if drop {
+		return // want pool-hygiene "return while a pool-acquired packet is still owned"
+	}
+	q.pool.Release(p)
+}
+
+// DoubleRelease returns the same packet to the free-list twice.
+func (q *Queue) DoubleRelease(src, dst int, now sim.Cycle) {
+	p := q.pool.NewData(q.ids, src, dst, 0, 64, now)
+	q.pool.Release(p)
+	q.pool.Release(p) // want pool-hygiene "second Release"
+}
+
+// ReleaseAfterHandoff releases a packet it already gave away.
+func (q *Queue) ReleaseAfterHandoff(src, dst int, now sim.Cycle) {
+	p := q.pool.NewData(q.ids, src, dst, 0, 64, now)
+	q.push(p)
+	q.pool.Release(p) // want pool-hygiene "ownership was already transferred"
+}
+
+// Discard drops the acquisition result on the floor.
+func (q *Queue) Discard(src, dst int, now sim.Cycle) {
+	q.pool.NewData(q.ids, src, dst, 0, 64, now) // want pool-hygiene "result discarded"
+}
+
+// Blank is the same leak spelled with a blank identifier.
+func (q *Queue) Blank(src, dst int, now sim.Cycle) {
+	_ = q.pool.NewData(q.ids, src, dst, 0, 64, now) // want pool-hygiene "assigned to _"
+}
+
+// Admit is the simulator's conditional-transfer idiom and must not be
+// flagged: the callee may or may not have taken the packet, and the
+// reject branch releases it.
+func (q *Queue) Admit(src, dst int, now sim.Cycle) {
+	p := q.pool.NewData(q.ids, src, dst, 0, 64, now)
+	if !q.offer(p) {
+		q.pool.Release(p)
+	}
+}
+
+// Handoff transfers ownership unconditionally: clean.
+func (q *Queue) Handoff(src, dst int, now sim.Cycle) {
+	p := q.pool.NewData(q.ids, src, dst, 0, 64, now)
+	q.push(p)
+}
+
+func (q *Queue) push(p *pkt.Packet) { q.q = append(q.q, p) }
+
+func (q *Queue) offer(p *pkt.Packet) bool {
+	if len(q.q) >= cap(q.q) {
+		return false
+	}
+	q.q = append(q.q, p)
+	return true
+}

@@ -1,0 +1,41 @@
+// Package suppressed exercises the //lint:ignore machinery end to
+// end: valid directives (above, trailing, file-wide) must silence the
+// findings they cover, and malformed directives must both fail to
+// silence anything and surface as lint-directive findings themselves.
+// The expected diagnostics for this file are hard-coded in
+// golden_test.go because a want-comment cannot share a line with the
+// directive under test.
+package suppressed
+
+import "time"
+
+//lint:file-ignore unchecked-err fixture demonstrates file-wide suppression
+
+// Above is silenced by a directive on the preceding line.
+func Above() int64 {
+	//lint:ignore determinism fixture: wall-clock only labels output here
+	return time.Now().UnixNano()
+}
+
+// Trailing is silenced by a directive on the offending line itself.
+func Trailing() int64 {
+	return time.Now().UnixNano() //lint:ignore determinism fixture: trailing form
+}
+
+// NoReason carries a directive with no justification: the directive is
+// reported and the violation below still fires.
+func NoReason() int64 {
+	//lint:ignore determinism
+	return time.Now().UnixNano()
+}
+
+// UnknownRule misspells the rule id: same outcome.
+func UnknownRule() int64 {
+	//lint:ignore determinsim typo in the rule id
+	return time.Now().UnixNano()
+}
+
+// Drop discards an error; the file-wide directive covers it.
+func Drop(f func() error) {
+	f()
+}

@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/pkt"
 	"repro/internal/sim"
@@ -91,15 +92,11 @@ func grow(s []int64, idx int) []int64 {
 // Flows returns the ids of all flows that delivered at least one
 // packet, in ascending order.
 func (c *Collector) Flows() []int {
-	var ids []int
+	ids := make([]int, 0, len(c.flowBins))
 	for id := range c.flowBins {
 		ids = append(ids, id)
 	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	sort.Ints(ids)
 	return ids
 }
 

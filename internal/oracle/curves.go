@@ -367,9 +367,15 @@ func CheckCurveShapes(results map[string]*experiments.Result) []error {
 		if v1q > 1.2*bw(q, 1, 7, 10) {
 			fail("fig9: 1Q's victim flow is no longer starved to a hot-flow share (F0 %.3f)", v1q)
 		}
-		for name, r := range map[string]*experiments.Result{"ITh": i, "FBICM": f, "CCFIT": c} {
-			if v := bw(r, 0, 7, 10); v < 3*v1q {
-				fail("fig9: %s no longer restores the victim flow (F0 %.3f vs 1Q %.3f GB/s)", name, v, v1q)
+		// Fixed iteration order: fail() output feeds CI diffs, and a
+		// map range here would shuffle the error lines across runs.
+		ccSchemes := []struct {
+			name string
+			r    *experiments.Result
+		}{{"ITh", i}, {"FBICM", f}, {"CCFIT", c}}
+		for _, sc := range ccSchemes {
+			if v := bw(sc.r, 0, 7, 10); v < 3*v1q {
+				fail("fig9: %s no longer restores the victim flow (F0 %.3f vs 1Q %.3f GB/s)", sc.name, v, v1q)
 			}
 		}
 		// ITh and CCFIT equalise hot-flow shares; FBICM does not.
@@ -393,10 +399,10 @@ func CheckCurveShapes(results map[string]*experiments.Result) []error {
 			}
 			return nil
 		}
-		for name, r := range map[string]*experiments.Result{"ITh": i, "FBICM": f, "CCFIT": c} {
-			at := experiments.RecoveryTime(r, victimSeries(r), 6, 1.5, 3)
+		for _, sc := range ccSchemes {
+			at := experiments.RecoveryTime(sc.r, victimSeries(sc.r), 6, 1.5, 3)
 			if at < 0 || at > 8 {
-				fail("fig9: %s victim recovery at %.2f ms (want within [6,8] ms)", name, at)
+				fail("fig9: %s victim recovery at %.2f ms (want within [6,8] ms)", sc.name, at)
 			}
 		}
 		if at := experiments.RecoveryTime(q, victimSeries(q), 6, 1.5, 3); at >= 0 {
@@ -418,6 +424,7 @@ func relDiff(a, b float64) float64 {
 }
 
 func allNonNil(m map[string]*experiments.Result) bool {
+	//lint:ignore determinism existential check over values; the boolean result is independent of iteration order
 	for _, r := range m {
 		if r == nil {
 			return false

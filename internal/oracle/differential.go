@@ -189,9 +189,9 @@ func leakOrSurplus(got, want int) string {
 // reference does not model, so the band is asymmetric: a hard analytic
 // floor below, a scaled reference ceiling above.
 type LatencyBand struct {
-	MeanFactor float64   // engine mean <= ref mean * MeanFactor + MeanSlack
+	MeanFactor float64 // engine mean <= ref mean * MeanFactor + MeanSlack
 	MeanSlack  sim.Cycle
-	MaxFactor  float64   // engine max <= ref max * MaxFactor + MaxSlack
+	MaxFactor  float64 // engine max <= ref max * MaxFactor + MaxSlack
 	MaxSlack   sim.Cycle
 }
 

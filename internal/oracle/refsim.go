@@ -31,9 +31,9 @@ import (
 // mirrors traffic.Flow (fixed destinations only: the reference model
 // is deliberately RNG-free).
 type RefFlow struct {
-	ID   int
-	Src  int // source endpoint id
-	Dst  int // destination endpoint id (fixed)
+	ID  int
+	Src int // source endpoint id
+	Dst int // destination endpoint id (fixed)
 	// Start and End bound the activation window [Start, End).
 	Start, End sim.Cycle
 	// Rate is the offered load as a fraction of the source's injection

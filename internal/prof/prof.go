@@ -24,7 +24,7 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("prof: %w", err)
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
+			_ = cpuFile.Close()
 			return nil, fmt.Errorf("prof: start CPU profile: %w", err)
 		}
 	}
@@ -42,7 +42,7 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			}
 			runtime.GC() // settle the heap so the profile shows live data
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				f.Close()
+				_ = f.Close()
 				return fmt.Errorf("prof: write heap profile: %w", err)
 			}
 			if err := f.Close(); err != nil {

@@ -112,12 +112,12 @@ func (c *Cache) Put(key string, r *experiments.Result) error {
 		return err
 	}
 	if err := gob.NewEncoder(tmp).Encode(r); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	return os.Rename(tmp.Name(), c.path(key))
