@@ -5,12 +5,15 @@
 // scheme. This locates each scheme's saturation point — context the
 // paper assumes when it injects "at 100% of the link bandwidth".
 //
-// Every (scheme, load) point is an independent simulation, expressed
-// as a synthetic runner experiment and fanned across the worker pool.
+// Every (scheme, load) point is an independent simulation, declared
+// through the same experiments.Spec the campaign service accepts, so
+// the sweep runs identically in-process or on a ccfit-serve instance
+// (-server URL).
 //
 // Usage:
 //
 //	ccfit-loadcurve -config 2 -schemes 1Q,VOQsw,VOQnet,FBICM,CCFIT
+//	ccfit-loadcurve -config 2 -server http://127.0.0.1:8080
 package main
 
 import (
@@ -21,14 +24,12 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	ccfit "repro"
-	"repro/internal/core"
+	"repro/internal/campaign"
 	"repro/internal/experiments"
-	"repro/internal/network"
-	"repro/internal/sim"
 	"repro/internal/topo"
-	"repro/internal/traffic"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 	points := flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1.0", "offered loads (fraction of link rate)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers")
 	cacheDir := flag.String("cache", "", "content-addressed result cache directory (empty = caching off)")
+	serverURL := flag.String("server", "", "submit the sweep to a ccfit-serve instance at this URL instead of running in-process")
 	verbose := flag.Bool("v", false, "stream per-job progress lines to stderr")
 	flag.Parse()
 
@@ -65,57 +67,51 @@ func main() {
 		schemeList = append(schemeList, strings.TrimSpace(s))
 	}
 
-	end := sim.CyclesFromMS(*msFlag)
-	bin := sim.CyclesFromNS(50_000)
-	// One synthetic experiment per offered load; the load is baked into
-	// the id because it changes the traffic (and hence the cache key).
-	pointExp := func(load float64) experiments.Experiment {
-		return experiments.Experiment{
-			ID:       fmt.Sprintf("loadcurve-c%d-load%.3f", *cfg, load),
-			Title:    fmt.Sprintf("uniform load %.2f on %s", load, ft.Name),
-			Kind:     experiments.Throughput,
-			Duration: end,
-			Bin:      bin,
-			Build: func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
-				n, err := network.Build(ft.Topology, p, network.Options{
-					Seed: seed, BinCycles: bin, TieBreak: ft.DETTieBreak,
-				})
-				if err != nil {
-					return nil, err
-				}
-				var flows []traffic.Flow
-				for s := 0; s < ft.NumEndpoints(); s++ {
-					flows = append(flows, traffic.Flow{
-						ID: s, Src: s, Dst: traffic.UniformDst, Start: 0, End: end, Rate: load,
-					})
-				}
-				return n, n.AddFlows(flows)
-			},
-		}
+	// The declarative sweep: expansion is scheme-major then load, the
+	// same order the render cursor below walks.
+	sub := campaign.Submission{Spec: experiments.Spec{
+		Schemes: schemeList,
+		Seed:    *seed,
+		LoadCurve: &experiments.LoadCurveSpec{
+			Config: *cfg,
+			Loads:  loads,
+			MS:     *msFlag,
+		},
+		Label: fmt.Sprintf("loadcurve config %d", *cfg),
+	}}
+	jobs, err := sub.Jobs()
+	if err != nil {
+		fatal(err)
 	}
 
-	var jobs []ccfit.Job
-	for _, name := range schemeList {
-		for _, load := range loads {
-			exp := pointExp(load)
-			jobs = append(jobs, ccfit.Job{ExpID: exp.ID, Scheme: name, Seed: *seed, Exp: &exp})
-		}
-	}
-
-	opt := ccfit.RunOptions{Workers: *workers}
-	if *cacheDir != "" {
-		cache, err := ccfit.OpenResultCache(*cacheDir)
-		if err != nil {
-			fatal(err)
-		}
-		opt.Cache = cache
-	}
-	if *verbose {
-		opt.Progress = ccfit.NewRunProgress(os.Stderr)
-	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	results, err := ccfit.RunJobs(ctx, jobs, opt)
+
+	var results []ccfit.JobResult
+	if *serverURL != "" {
+		client := &campaign.Client{Base: *serverURL}
+		var fn func(campaign.Event) error
+		if *verbose {
+			fn = func(ev campaign.Event) error {
+				fmt.Fprintf(os.Stderr, "ccfit-loadcurve: [%d/%d] %-7s %s\n", ev.Done, ev.Total, ev.Type, ev.Job)
+				return nil
+			}
+		}
+		results, err = client.Run(ctx, sub, fn)
+	} else {
+		opt := ccfit.RunOptions{Workers: *workers}
+		if *cacheDir != "" {
+			cache, cerr := ccfit.OpenResultCache(*cacheDir)
+			if cerr != nil {
+				fatal(cerr)
+			}
+			opt.Cache = cache
+		}
+		if *verbose {
+			opt.Progress = ccfit.NewRunProgress(os.Stderr)
+		}
+		results, err = ccfit.RunJobs(ctx, jobs, opt)
+	}
 	if err != nil {
 		fatal(err)
 	}

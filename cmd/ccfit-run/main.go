@@ -10,11 +10,22 @@
 //	ccfit-run                                  # the full paper evaluation, all cores
 //	ccfit-run -workers 4 -seeds 5 fig8b        # one figure, 5 replications
 //	ccfit-run -schemes CCFIT,ITh -cache .ccfit-cache fig7a fig7b
+//	ccfit-run -server http://127.0.0.1:8080 fig7a   # run on a ccfit-serve instance
 //	ccfit-run -list                            # valid experiment ids
 //
 // With -csv DIR each experiment also writes a CSV, and a JSON run
 // manifest (runs, outcomes, timings, cache keys) lands in
 // DIR/manifest.json (or wherever -manifest points).
+//
+// With -server URL the same campaign is submitted to a ccfit-serve
+// instance instead of running in-process: the spec is expanded by both
+// sides with the same deterministic function, results stream back in
+// the same cell order, and the rendered output is byte-identical to a
+// local run of the same spec.
+//
+// SIGINT/SIGTERM cancel the campaign gracefully: in-flight jobs stop,
+// completed results still render, and the manifest (with cancelled
+// entries) is still written.
 package main
 
 import (
@@ -26,9 +37,12 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	ccfit "repro"
+	"repro/internal/campaign"
+	"repro/internal/experiments"
 	"repro/internal/prof"
 	"repro/internal/runner"
 )
@@ -44,6 +58,9 @@ func main() {
 	retries := flag.Int("retries", 0, "retry transient job failures up to N times (invariant violations are never retried)")
 	retryBackoff := flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before the first retry (doubles per attempt)")
 	cacheDir := flag.String("cache", "", "content-addressed result cache directory (empty = caching off)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "after the run, evict least-recently-used cache entries beyond this size (0 = unbounded)")
+	serverURL := flag.String("server", "", "submit the campaign to a ccfit-serve instance at this URL instead of running in-process")
+	ms := flag.Float64("ms", 0, "truncate every experiment to this many simulated milliseconds (quick previews; distinct cache keys)")
 	csvDir := flag.String("csv", "", "also write one CSV per experiment into this directory")
 	manifestPath := flag.String("manifest", "", "write the JSON run manifest here (default: <csv>/manifest.json when -csv is set)")
 	summary := flag.Bool("summary", true, "print per-scheme congestion-management counters")
@@ -111,33 +128,85 @@ func main() {
 		}
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	jobs := ccfit.JobGrid(exps, schemes, seedList)
+	// Both execution paths expand the same declarative spec with the
+	// same deterministic function, so result index i is the same
+	// (experiment, scheme, seed) cell locally and on a server.
+	sub := campaign.Submission{Spec: experiments.Spec{
+		Experiments: ids, Schemes: schemes, Seed: *seed, Seeds: *seeds, MS: *ms,
+	}}
 	if *faultsPath != "" {
 		script, err := ccfit.LoadFaultScript(*faultsPath)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "ccfit-run: fault script %q: %d event(s)\n", script.Name, len(script.Events))
-		for i := range jobs {
-			jobs[i].Faults = script
+		sub.Faults = script
+	}
+	sub.Watchdog = *watchdog
+
+	// A request of only static tables expands to zero cells but still
+	// renders; anything else expands (and validates) up front.
+	runnable := false
+	for _, e := range exps {
+		if e.Kind != experiments.ConfigTable {
+			runnable = true
+			break
 		}
 	}
-	if *watchdog != 0 {
-		for i := range jobs {
-			jobs[i].Watchdog = ccfit.Cycle(*watchdog)
+	var jobs []ccfit.Job
+	if runnable {
+		jobs, err = sub.Jobs()
+		if err != nil {
+			fatal(err)
 		}
 	}
+	if *ms > 0 {
+		// Rendering reads bins off the experiment; mirror the spec's
+		// truncation so headers match the truncated runs.
+		for i := range exps {
+			if exps[i].Kind == experiments.ConfigTable {
+				continue
+			}
+			exps[i].Duration = ccfit.MS(*ms)
+			if exps[i].Bin > exps[i].Duration {
+				exps[i].Bin = exps[i].Duration
+			}
+		}
+	}
+
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fatal(err)
 	}
 	startedAt := time.Now()
-	results, runErr := ccfit.RunJobs(ctx, jobs, opt)
+	var results []ccfit.JobResult
+	var runErr error
+	switch {
+	case len(jobs) == 0:
+		// Nothing to simulate (static tables only).
+	case *serverURL != "":
+		results, runErr = runRemote(ctx, *serverURL, sub, jobs, *verbose)
+	default:
+		results, runErr = ccfit.RunJobs(ctx, jobs, opt)
+	}
 	if err := stopProf(); err != nil {
 		fatal(err)
+	}
+	if opt.Cache != nil {
+		if *cacheMaxBytes > 0 {
+			stats, gcErr := opt.Cache.GC(*cacheMaxBytes)
+			switch {
+			case gcErr != nil:
+				fmt.Fprintf(os.Stderr, "ccfit-run: cache GC: %v\n", gcErr)
+			case stats.Evicted > 0:
+				fmt.Fprintf(os.Stderr, "ccfit-run: cache GC: evicted %d entries, freed %d bytes\n", stats.Evicted, stats.Freed)
+			}
+		} else if err := opt.Cache.FlushIndex(); err != nil {
+			fmt.Fprintf(os.Stderr, "ccfit-run: cache index: %v\n", err)
+		}
 	}
 	if runErr != nil && results == nil {
 		fatal(runErr)
@@ -230,6 +299,45 @@ func main() {
 	if runErr != nil {
 		fatal(runErr)
 	}
+}
+
+// runRemote submits the campaign to a ccfit-serve instance, waits for
+// it (streaming progress when verbose), and reassembles the results in
+// cell order against the locally expanded job list. On SIGINT/SIGTERM
+// the remote campaign is cancelled so its queued jobs are dropped.
+func runRemote(ctx context.Context, base string, sub campaign.Submission, jobs []ccfit.Job, verbose bool) ([]ccfit.JobResult, error) {
+	client := &campaign.Client{Base: base}
+	if err := client.Healthz(ctx); err != nil {
+		return nil, fmt.Errorf("server %s unreachable: %w", base, err)
+	}
+	var fn func(campaign.Event) error
+	if verbose {
+		fn = func(ev campaign.Event) error {
+			switch ev.Type {
+			case "snapshot", "complete":
+				fmt.Fprintf(os.Stderr, "ccfit-run: campaign %s: %s %d/%d (%s)\n", ev.Campaign, ev.Type, ev.Done, ev.Total, ev.Status)
+			default:
+				fmt.Fprintf(os.Stderr, "ccfit-run: [%d/%d] %-7s %s\n", ev.Done, ev.Total, ev.Type, ev.Job)
+			}
+			return nil
+		}
+	}
+	v, err := client.Submit(ctx, sub)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "ccfit-run: campaign %s submitted to %s (%d jobs)\n", v.ID, base, v.Total)
+	if _, err := client.Wait(ctx, v.ID, fn); err != nil {
+		if ctx.Err() != nil {
+			// Drop the campaign's queued jobs; in-flight ones drain on
+			// the server. Best-effort: the signal may race shutdown.
+			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_, _ = client.Cancel(cctx, v.ID)
+		}
+		return nil, err
+	}
+	return client.Results(ctx, v.ID, jobs)
 }
 
 func printList(w *os.File) {

@@ -1,0 +1,152 @@
+// Command ccfit-serve is the long-running campaign service: it accepts
+// campaign submissions (the same experiment/sweep specs ccfit-run
+// consumes) over HTTP+JSON, expands them into jobs, and schedules them
+// across a worker pool with the content-addressed result cache as the
+// shared dedup layer. Campaigns are journaled to disk and resume after
+// a crash or restart; overlapping or resubmitted campaigns skip every
+// already-computed cell for free.
+//
+// Usage:
+//
+//	ccfit-serve                              # 127.0.0.1:8080, state in .ccfit-serve/
+//	ccfit-serve -addr :9000 -workers 8 -cache-max-bytes 1073741824
+//	ccfit-run -server http://127.0.0.1:8080 fig7a   # submit remotely
+//
+// API: POST /campaigns, GET /campaigns[/{id}[/results|/events]],
+// DELETE /campaigns/{id}, GET /metrics, GET /healthz.
+//
+// On SIGINT/SIGTERM the server drains gracefully: in-flight jobs
+// finish and are journaled, queued jobs stay journaled for the next
+// process, and the cache's access-time index is flushed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/runner"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	dataDir := flag.String("data", ".ccfit-serve", "state directory (journals under data/journal, cache under data/cache)")
+	cacheDir := flag.String("cache", "", "result cache directory override (default: <data>/cache; shared with ccfit-run)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers")
+	timeout := flag.Duration("timeout", 0, "per-job wall-clock timeout (0 = none)")
+	retries := flag.Int("retries", 0, "retry transient job failures up to N times")
+	retryBackoff := flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before the first retry (doubles per attempt)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this size (0 = unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for open HTTP connections")
+	flag.Parse()
+
+	if *cacheDir == "" {
+		*cacheDir = filepath.Join(*dataDir, "cache")
+	}
+	cache, err := runner.OpenCache(*cacheDir)
+	if err != nil {
+		fatal(err)
+	}
+	gc := func(when string) {
+		if *cacheMaxBytes <= 0 {
+			return
+		}
+		stats, gerr := cache.GC(*cacheMaxBytes)
+		if gerr != nil {
+			fmt.Fprintf(os.Stderr, "ccfit-serve: cache GC (%s): %v\n", when, gerr)
+			return
+		}
+		if stats.Evicted > 0 {
+			fmt.Fprintf(os.Stderr, "ccfit-serve: cache GC (%s): evicted %d entries, freed %d bytes\n",
+				when, stats.Evicted, stats.Freed)
+		}
+	}
+	gc("startup")
+
+	sched, err := campaign.Open(campaign.Options{
+		Dir:          filepath.Join(*dataDir, "journal"),
+		Cache:        cache,
+		Workers:      *workers,
+		Timeout:      *timeout,
+		Retries:      *retries,
+		RetryBackoff: *retryBackoff,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// Event streams hold their connections open indefinitely; deriving
+	// every request context from baseCtx lets shutdown cut them loose so
+	// Shutdown is not stuck behind a subscriber for the drain timeout.
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
+	srv := &http.Server{
+		Handler:     campaign.NewServer(sched),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+	// The line below is the startup handshake scripts parse; keep its
+	// shape stable.
+	fmt.Printf("ccfit-serve: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Periodic GC so a busy server bounds its cache between restarts.
+	if *cacheMaxBytes > 0 {
+		go func() {
+			t := time.NewTicker(5 * time.Minute)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					gc("periodic")
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process immediately
+	fmt.Fprintln(os.Stderr, "ccfit-serve: draining (in-flight jobs finish; queued jobs resume next start)")
+
+	baseCancel() // release long-lived event streams
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "ccfit-serve: http shutdown: %v\n", err)
+	}
+	if err := sched.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "ccfit-serve: scheduler close: %v\n", err)
+	}
+	gc("shutdown")
+	fmt.Fprintln(os.Stderr, "ccfit-serve: drained")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccfit-serve:", err)
+	os.Exit(1)
+}

@@ -24,8 +24,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"syscall"
 
 	ccfit "repro"
+	"repro/internal/campaign"
+	"repro/internal/experiments"
 	"repro/internal/sim"
 )
 
@@ -99,6 +102,7 @@ func main() {
 	seeds := flag.Int("seeds", 1, "replications per sweep point (seeds seed..seed+N-1)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers")
 	cacheDir := flag.String("cache", "", "content-addressed result cache directory (empty = caching off)")
+	serverURL := flag.String("server", "", "submit sweep points to a ccfit-serve instance at this URL (one campaign per point) instead of running in-process")
 	verbose := flag.Bool("v", false, "stream per-job progress lines to stderr")
 	flag.Parse()
 
@@ -129,6 +133,7 @@ func main() {
 		params ccfit.Params
 		valid  bool
 		reason error
+		sub    campaign.Submission
 	}
 	var points []point
 	var jobs []ccfit.Job
@@ -148,24 +153,46 @@ func main() {
 				e := exp
 				jobs = append(jobs, ccfit.Job{ExpID: exp.ID, Scheme: *scheme, Seed: s, Params: &p, Exp: &e})
 			}
+			// The declarative twin of the jobs above: one campaign per
+			// sweep point, with the point's parameter override.
+			pp := p
+			pt.sub = campaign.Submission{Spec: experiments.Spec{
+				Experiments: []string{exp.ID},
+				Schemes:     []string{*scheme},
+				Seed:        *seed,
+				Seeds:       *seeds,
+				Params:      &pp,
+				Label:       fmt.Sprintf("sweep %s=%s on %s/%s", sw.name, pt.label, exp.ID, *scheme),
+			}}
 		}
 		points = append(points, pt)
 	}
 
-	opt := ccfit.RunOptions{Workers: *workers}
-	if *cacheDir != "" {
-		cache, err := ccfit.OpenResultCache(*cacheDir)
-		if err != nil {
-			fatal(err)
-		}
-		opt.Cache = cache
-	}
-	if *verbose {
-		opt.Progress = ccfit.NewRunProgress(os.Stderr)
-	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	results, err := ccfit.RunJobs(ctx, jobs, opt)
+	var results []ccfit.JobResult
+	if *serverURL != "" {
+		var subs []campaign.Submission
+		for _, pt := range points {
+			if pt.valid {
+				subs = append(subs, pt.sub)
+			}
+		}
+		results, err = runRemote(ctx, *serverURL, subs, *verbose)
+	} else {
+		opt := ccfit.RunOptions{Workers: *workers}
+		if *cacheDir != "" {
+			cache, err := ccfit.OpenResultCache(*cacheDir)
+			if err != nil {
+				fatal(err)
+			}
+			opt.Cache = cache
+		}
+		if *verbose {
+			opt.Progress = ccfit.NewRunProgress(os.Stderr)
+		}
+		results, err = ccfit.RunJobs(ctx, jobs, opt)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -226,6 +253,48 @@ func main() {
 		}
 	}
 	os.Exit(exitCode)
+}
+
+// runRemote submits every sweep point as its own campaign (so the
+// server's pool interleaves them), then collects results in point
+// order — the same order the local job slice uses, so the render
+// cursor is unchanged.
+func runRemote(ctx context.Context, base string, subs []campaign.Submission, verbose bool) ([]ccfit.JobResult, error) {
+	client := &campaign.Client{Base: base}
+	if err := client.Healthz(ctx); err != nil {
+		return nil, fmt.Errorf("server %s unreachable: %w", base, err)
+	}
+	type submitted struct {
+		id   string
+		jobs []ccfit.Job
+	}
+	pending := make([]submitted, 0, len(subs))
+	for _, sub := range subs {
+		jobs, err := sub.Jobs()
+		if err != nil {
+			return nil, err
+		}
+		v, err := client.Submit(ctx, sub)
+		if err != nil {
+			return nil, err
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "ccfit-sweep: campaign %s: %s\n", v.ID, sub.Label)
+		}
+		pending = append(pending, submitted{id: v.ID, jobs: jobs})
+	}
+	var results []ccfit.JobResult
+	for _, p := range pending {
+		if _, err := client.Wait(ctx, p.id, nil); err != nil {
+			return nil, err
+		}
+		rs, err := client.Results(ctx, p.id, p.jobs)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, rs...)
+	}
+	return results, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,88 @@
+package campaign
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics are the service's expvar-style counters, exposed as JSON at
+// /metrics. All fields are monotonic counters except the gauges the
+// scheduler derives live (queue depth, busy workers).
+type Metrics struct {
+	start   time.Time
+	workers int
+
+	CampaignsSubmitted atomic.Int64
+	CampaignsResumed   atomic.Int64
+	CampaignsCompleted atomic.Int64
+	CampaignsCancelled atomic.Int64
+
+	JobsEnqueued    atomic.Int64
+	JobsDone        atomic.Int64 // fresh simulations that finished ok
+	JobsCached      atomic.Int64 // served from the shared result cache
+	JobsFailed      atomic.Int64
+	JobsQuarantined atomic.Int64
+	JobsCancelled   atomic.Int64
+	JobsRetried     atomic.Int64
+
+	// JournalErrors counts failed journal/index writes: durability is
+	// degraded (a crash may re-run work) but service continues.
+	JournalErrors atomic.Int64
+
+	// busyNS accumulates worker wall-clock spent executing jobs; the
+	// utilization gauge divides it by workers × uptime.
+	busyNS      atomic.Int64
+	busyWorkers atomic.Int64
+}
+
+// NewMetrics starts a metrics set for a pool of `workers` workers.
+func NewMetrics(workers int) *Metrics {
+	return &Metrics{start: time.Now(), workers: workers}
+}
+
+// Snapshot renders the counters plus derived gauges. queueDepth is the
+// scheduler's current queue length (passed in so Metrics itself stays
+// lock-free).
+func (m *Metrics) Snapshot(queueDepth int) map[string]any {
+	uptime := time.Since(m.start)
+	done := m.JobsDone.Load()
+	cached := m.JobsCached.Load()
+	hitRate := 0.0
+	if done+cached > 0 {
+		hitRate = float64(cached) / float64(done+cached)
+	}
+	util := 0.0
+	if m.workers > 0 && uptime > 0 {
+		util = float64(m.busyNS.Load()) / (float64(uptime.Nanoseconds()) * float64(m.workers))
+	}
+	return map[string]any{
+		"uptime_seconds":      uptime.Seconds(),
+		"workers":             m.workers,
+		"busy_workers":        m.busyWorkers.Load(),
+		"worker_utilization":  util,
+		"queue_depth":         queueDepth,
+		"campaigns_submitted": m.CampaignsSubmitted.Load(),
+		"campaigns_resumed":   m.CampaignsResumed.Load(),
+		"campaigns_completed": m.CampaignsCompleted.Load(),
+		"campaigns_cancelled": m.CampaignsCancelled.Load(),
+		"jobs_enqueued":       m.JobsEnqueued.Load(),
+		"jobs_done":           done,
+		"jobs_cached":         cached,
+		"jobs_failed":         m.JobsFailed.Load(),
+		"jobs_quarantined":    m.JobsQuarantined.Load(),
+		"jobs_cancelled":      m.JobsCancelled.Load(),
+		"jobs_retried":        m.JobsRetried.Load(),
+		"journal_errors":      m.JournalErrors.Load(),
+		"cache_hit_rate":      hitRate,
+	}
+}
+
+// jobTimer tracks one job's occupancy of a worker.
+func (m *Metrics) jobTimer() func() {
+	t0 := time.Now()
+	m.busyWorkers.Add(1)
+	return func() {
+		m.busyWorkers.Add(-1)
+		m.busyNS.Add(time.Since(t0).Nanoseconds())
+	}
+}

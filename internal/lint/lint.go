@@ -213,39 +213,3 @@ func relFile(m *Module, file string) string {
 	}
 	return file
 }
-
-// simAllowlist names the internal/ packages exempt from the
-// simulation-determinism rules: orchestration and tooling that runs
-// outside the single-goroutine engine and legitimately uses wall-clock
-// time, goroutines and unordered iteration.
-var simAllowlist = map[string]bool{
-	"runner":   true, // parallel campaign orchestration: goroutines + wall-clock by design
-	"prof":     true, // pprof plumbing, never inside a simulated cycle
-	"testutil": true, // test helpers
-	"lint":     true, // this tool
-}
-
-// isSimPackage reports whether path is simulation code: under
-// internal/ and not on the allowlist. Analyzer scope checks funnel
-// through here so the testdata packages (loaded under synthetic
-// internal/ paths) classify exactly like real ones.
-func isSimPackage(m *Module, path string) bool {
-	rest, ok := strings.CutPrefix(path, m.Name+"/internal/")
-	if !ok {
-		return false
-	}
-	top := rest
-	if i := strings.IndexByte(rest, '/'); i >= 0 {
-		top = rest[:i]
-	}
-	return !simAllowlist[top]
-}
-
-// isInternal reports whether path is under internal/ at all.
-func isInternal(m *Module, path string) bool {
-	return strings.HasPrefix(path, m.Name+"/internal/")
-}
-
-// simPkgScope is the Applies predicate shared by the determinism
-// family of rules.
-func simPkgScope(m *Module, pkg *Package) bool { return isSimPackage(m, pkg.Path) }

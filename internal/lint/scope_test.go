@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestScopeComplete requires every internal/ package in the module to
+// be explicitly declared in exactly one scope table. A package in
+// neither table means someone skipped the classification decision; a
+// package in both means the tables disagree about which rules apply.
+func TestScopeComplete(t *testing.T) {
+	m := testModule(t)
+	if un := Unclassified(m, m.Packages); len(un) > 0 {
+		t.Errorf("internal packages missing from the scope config in scope.go: %v", un)
+	}
+	for name := range simScope {
+		if _, dup := serviceScope[name]; dup {
+			t.Errorf("package %q declared in both simScope and serviceScope", name)
+		}
+	}
+	// The tables must not accumulate stale entries for deleted packages.
+	for name := range simScope {
+		assertDirExists(t, name)
+	}
+	for name := range serviceScope {
+		assertDirExists(t, name)
+	}
+}
+
+func assertDirExists(t *testing.T, name string) {
+	t.Helper()
+	if _, err := os.Stat(filepath.Join("..", name)); err != nil {
+		t.Errorf("scope config names internal/%s but the directory is missing: %v", name, err)
+	}
+}
+
+// TestScopeDefaultsClosed pins the default: an internal/ path outside
+// both tables (as the synthetic testdata packages are) classifies as
+// simulation code, so a forgotten package cannot dodge the determinism
+// rules.
+func TestScopeDefaultsClosed(t *testing.T) {
+	m := testModule(t)
+	path := m.Name + "/internal/not-a-real-package"
+	class, explicit := scopeOf(m, path)
+	if explicit {
+		t.Errorf("scopeOf(%q) claims an explicit classification", path)
+	}
+	if class != ScopeSim {
+		t.Errorf("scopeOf(%q) = %v, want default-closed ScopeSim", path, class)
+	}
+	if !isSimPackage(m, path) {
+		t.Errorf("isSimPackage(%q) = false, want true (default-closed)", path)
+	}
+}
+
+// TestCampaignScope is the regression test for the campaign service's
+// exemption: internal/campaign is service code (goroutines, wall-clock
+// time, HTTP serving), so the determinism family must not apply to it —
+// but the scope-independent rules still must. This pins the per-rule
+// Applies behavior, not just the table contents.
+func TestCampaignScope(t *testing.T) {
+	m := testModule(t)
+	var campaign *Package
+	for _, pkg := range m.Packages {
+		if pkg.Path == m.Name+"/internal/campaign" {
+			campaign = pkg
+			break
+		}
+	}
+	if campaign == nil {
+		t.Fatal("module load did not find internal/campaign")
+	}
+
+	applies := func(name string) bool {
+		as, err := ByName([]string{name})
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		a := as[0]
+		return a.Applies == nil || a.Applies(m, campaign)
+	}
+
+	for _, rule := range []string{"determinism", "hotpath-alloc", "phase-discipline", "pool-hygiene"} {
+		if applies(rule) {
+			t.Errorf("rule %s applies to internal/campaign; service code must be exempt from the determinism family", rule)
+		}
+	}
+	if !applies("unchecked-err") {
+		t.Error("rule unchecked-err does not apply to internal/campaign; service code is still linted by scope-independent rules")
+	}
+}
+
+// TestSimScopeApplies is the inverse guard: a core simulation package
+// must be covered by the full determinism family, so loosening the
+// scope config cannot silently shrink coverage.
+func TestSimScopeApplies(t *testing.T) {
+	m := testModule(t)
+	var cam *Package
+	for _, pkg := range m.Packages {
+		if pkg.Path == m.Name+"/internal/cam" {
+			cam = pkg
+			break
+		}
+	}
+	if cam == nil {
+		t.Fatal("module load did not find internal/cam")
+	}
+	for _, a := range All() {
+		if a.Name == "phase-discipline" {
+			continue // applies to sim code except internal/sim itself; cam is covered
+		}
+		if a.Applies != nil && !a.Applies(m, cam) {
+			t.Errorf("rule %s does not apply to internal/cam; sim packages must keep full coverage", a.Name)
+		}
+	}
+	as, err := ByName([]string{"phase-discipline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !as[0].Applies(m, cam) {
+		t.Error("phase-discipline does not apply to internal/cam")
+	}
+}

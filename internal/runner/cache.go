@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -26,8 +27,17 @@ const schemaVersion = 1
 // missing or corrupt entry as a miss, and the zero-size guarantee is
 // that a hit decodes to the byte-identical Result the original run
 // produced (gob round-trips float64 exactly).
+//
+// The cache additionally keeps a last-access index (see gc.go) so a
+// long-lived server can bound its size with GC: every hit and store
+// touches the key in memory, FlushIndex persists the index, and GC
+// evicts least-recently-used entries first.
 type Cache struct {
 	dir string
+
+	mu    sync.Mutex
+	atime map[string]int64 // key -> last access, unix nanoseconds
+	now   func() time.Time
 }
 
 // OpenCache opens (creating if needed) a cache rooted at dir.
@@ -38,7 +48,9 @@ func OpenCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runner: opening cache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	c := &Cache{dir: dir, now: time.Now}
+	c.loadIndex()
+	return c, nil
 }
 
 // Dir returns the cache root.
@@ -88,7 +100,15 @@ func (c *Cache) Get(key string) (*experiments.Result, bool, error) {
 	if err := gob.NewDecoder(f).Decode(&r); err != nil {
 		return nil, false, fmt.Errorf("runner: corrupt cache entry %s: %w", key, err)
 	}
+	c.touch(key)
 	return &r, true, nil
+}
+
+// Has reports whether an entry exists on disk for key, without
+// decoding it — the campaign service's cheap resume-time probe.
+func (c *Cache) Has(key string) bool {
+	_, err := os.Stat(c.path(key))
+	return err == nil
 }
 
 // Remove deletes a cache entry (a no-op when absent) so a corrupt
@@ -120,7 +140,11 @@ func (c *Cache) Put(key string, r *experiments.Result) error {
 		_ = os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), c.path(key))
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		return err
+	}
+	c.touch(key)
+	return nil
 }
 
 var (

@@ -1,0 +1,147 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/invariant"
+)
+
+// Executor runs one job to completion. It is the seam between
+// campaign-level scheduling (who runs what, in which order, under
+// which cancellation scope) and job-level execution semantics (cache
+// probe, timeout, panic containment, retry vs quarantine): Run fans a
+// fixed slice of jobs over one, the campaign service's queue feeds one
+// job at a time from many campaigns into the same implementation.
+//
+// emit, when non-nil, receives job-scoped telemetry (JobStart,
+// JobRetry, JobCacheCorrupt and the terminal event). The executor
+// leaves campaign-level fields (Index, Done, Total, campaign Elapsed,
+// ETA) zero — the caller owns campaign accounting and decorates the
+// events it forwards.
+type Executor interface {
+	Execute(ctx context.Context, job Job, emit func(Event)) JobResult
+}
+
+// LocalExecutor executes jobs in-process with the semantics runner.Run
+// has always had: content-addressed cache probe (recovering from
+// corrupt entries), wall-clock timeout, panic recovery, transient
+// retries with exponential backoff, and quarantine of deterministic
+// invariant violations.
+type LocalExecutor struct {
+	// Cache, when non-nil, is consulted before running and updated
+	// after a successful run.
+	Cache *Cache
+	// Timeout bounds each job's wall-clock time; 0 disables.
+	Timeout time.Duration
+	// Retries is how many times a transiently failed job is
+	// re-attempted; RetryBackoff the pause before the first retry
+	// (doubling per attempt).
+	Retries      int
+	RetryBackoff time.Duration
+}
+
+// Execute validates, resolves and runs one job. Invalid jobs (unknown
+// experiment, bad scheme or parameters) fail without consuming a
+// simulation.
+func (e *LocalExecutor) Execute(ctx context.Context, job Job, emit func(Event)) JobResult {
+	if emit == nil {
+		emit = func(Event) {}
+	}
+	r, err := resolve(job)
+	if err != nil {
+		emit(Event{Type: JobFailed, Job: job, Err: err})
+		return JobResult{Job: job, Err: err}
+	}
+	if e.Cache != nil {
+		// The watchdog window is deliberately NOT part of the key: it
+		// can only turn a run into a failure, and failures are never
+		// cached, so every cached result is watchdog-neutral.
+		var extra []string
+		if r.faults != nil {
+			extra = append(extra, "faults="+r.faults.Fingerprint())
+		}
+		r.key = Key(r.exp, r.scheme, job.Seed, r.params, extra...)
+	}
+	return e.run(ctx, job, r, emit)
+}
+
+// run executes a resolved job: cache probe, simulation with timeout
+// and panic containment, transient retries, quarantine, cache store.
+func (e *LocalExecutor) run(ctx context.Context, job Job, r resolved, emit func(Event)) JobResult {
+	emit(Event{Type: JobStart, Job: job})
+	t0 := time.Now()
+	if e.Cache != nil {
+		res, ok, gerr := e.Cache.Get(r.key)
+		if ok {
+			jr := JobResult{Job: job, Result: res, Cached: true, Elapsed: time.Since(t0), Key: r.key}
+			emit(Event{Type: JobCached, Job: job, JobElapsed: jr.Elapsed})
+			return jr
+		}
+		if gerr != nil {
+			// Corrupt entry: log, drop it, recompute. The fresh Put
+			// below overwrites the slot.
+			emit(Event{Type: JobCacheCorrupt, Job: job, Err: gerr})
+			_ = e.Cache.Remove(r.key)
+		}
+	}
+	var (
+		res *experiments.Result
+		err error
+	)
+	attempts := 0
+	for {
+		attempts++
+		res, err = executeBounded(ctx, job, r, e.Timeout)
+		if err == nil || invariant.IsViolation(err) || ctx.Err() != nil || attempts > e.Retries {
+			break
+		}
+		emit(Event{Type: JobRetry, Job: job, Err: err})
+		if e.RetryBackoff > 0 {
+			backoff := e.RetryBackoff << (attempts - 1)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+			}
+		}
+	}
+	jr := JobResult{Job: job, Result: res, Err: err, Elapsed: time.Since(t0), Key: r.key, Attempts: attempts}
+	if err != nil {
+		var v *invariant.Violation
+		if errors.As(err, &v) {
+			jr.Quarantined = true
+			jr.Diagnostics = v.Snapshot
+		}
+		emit(Event{Type: JobFailed, Job: job, JobElapsed: jr.Elapsed, Err: err})
+		return jr
+	}
+	if e.Cache != nil {
+		// A failed store only costs the next run a recompute.
+		if perr := e.Cache.Put(r.key, res); perr != nil {
+			jr.Err = fmt.Errorf("runner: %s ran but caching failed: %w", job, perr)
+		}
+	}
+	emit(Event{Type: JobDone, Job: job, JobElapsed: jr.Elapsed})
+	return jr
+}
+
+// FromSpec expands a declarative campaign spec into runner jobs, in
+// the spec's deterministic cell order. It is the bridge the campaign
+// service and the -server CLIs share with local runs: both sides
+// expand the same Spec with the same function, so result index i
+// means the same (experiment, scheme, seed) everywhere.
+func FromSpec(s experiments.Spec) ([]Job, error) {
+	cells, err := s.Expand()
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]Job, 0, len(cells))
+	for _, c := range cells {
+		e := c.Exp
+		jobs = append(jobs, Job{ExpID: e.ID, Scheme: c.Scheme, Seed: c.Seed, Params: c.Params, Exp: &e})
+	}
+	return jobs, nil
+}

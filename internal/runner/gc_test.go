@@ -1,0 +1,184 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// fakeClock returns a monotonically advancing deterministic clock.
+func fakeClock() func() time.Time {
+	t := time.Unix(1_000_000, 0)
+	return func() time.Time {
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+func putResult(t *testing.T, c *Cache, key string) {
+	t.Helper()
+	r := &experiments.Result{ExpID: key, Scheme: "CCFIT", Normalized: []float64{0.5, 0.6}}
+	if err := c.Put(key, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// keys returns 64-hex-char-ish distinct keys (the cache only needs
+// key[:2] for sharding).
+var gcKeys = []string{"aa11", "bb22", "cc33", "dd44"}
+
+func cacheHas(t *testing.T, c *Cache, key string) bool {
+	t.Helper()
+	_, ok, err := c.Get(key)
+	if err != nil {
+		t.Fatalf("Get(%s): %v", key, err)
+	}
+	return ok
+}
+
+// TestGCEvictionOrder pins LRU semantics: entries are evicted in
+// last-access order, and re-touching an old entry saves it.
+func TestGCEvictionOrder(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.now = fakeClock()
+	for _, k := range gcKeys {
+		putResult(t, c, k)
+	}
+	// Touch the oldest entry so it becomes the newest.
+	if !cacheHas(t, c, gcKeys[0]) {
+		t.Fatal("entry aa11 missing before GC")
+	}
+
+	// Entry sizes are equal; keep room for roughly half.
+	stats, err := c.GC(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != len(gcKeys) {
+		t.Fatalf("GC saw %d entries, want %d", stats.Entries, len(gcKeys))
+	}
+	if stats.Evicted == 0 || stats.Freed == 0 {
+		t.Fatalf("GC evicted nothing: %+v", stats)
+	}
+	// bb22 (the least recently used after aa11 was touched) must go
+	// before aa11.
+	if cacheHas(t, c, "bb22") {
+		t.Error("bb22 survived GC but was least recently used")
+	}
+	if stats.Evicted < len(gcKeys) && !cacheHas(t, c, gcKeys[0]) {
+		t.Error("aa11 was evicted despite being most recently touched")
+	}
+}
+
+// TestGCUnderLimitIsNoop: a cache under the limit only reports size.
+func TestGCUnderLimitIsNoop(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.now = fakeClock()
+	putResult(t, c, "aa11")
+	stats, err := c.GC(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Evicted != 0 || !cacheHas(t, c, "aa11") {
+		t.Fatalf("GC under limit evicted entries: %+v", stats)
+	}
+	if stats.Bytes == 0 || stats.Entries != 1 {
+		t.Fatalf("GC did not report size: %+v", stats)
+	}
+}
+
+// TestGCIndexPersistence: the flushed index survives a reopen, so a
+// restarted server keeps its LRU ordering.
+func TestGCIndexPersistence(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.now = fakeClock()
+	for _, k := range gcKeys {
+		putResult(t, c, k)
+	}
+	if err := c.FlushIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.now = fakeClock()
+	if len(c2.atime) != len(gcKeys) {
+		t.Fatalf("reopened index has %d entries, want %d", len(c2.atime), len(gcKeys))
+	}
+	if _, err := c2.GC(1); err != nil {
+		t.Fatal(err)
+	}
+	// aa11 was the oldest access in the persisted index: it must be
+	// the first eviction.
+	if cacheHas(t, c2, "aa11") {
+		t.Error("aa11 survived GC despite oldest persisted atime")
+	}
+}
+
+// TestGCCorruptIndexRecovery: a garbage index file neither fails
+// OpenCache nor GC; eviction falls back to file mtimes.
+func TestGCCorruptIndexRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.now = fakeClock()
+	for i, k := range gcKeys {
+		putResult(t, c, k)
+		// Distinct mtimes so the fallback ordering is well-defined.
+		mt := time.Unix(2_000_000+int64(i)*10, 0)
+		if err := os.Chtimes(c.path(k), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, indexFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatalf("OpenCache with corrupt index: %v", err)
+	}
+	c2.now = fakeClock()
+	if len(c2.atime) != 0 {
+		t.Fatalf("corrupt index should load empty, got %d entries", len(c2.atime))
+	}
+	stats, err := c2.GC(1)
+	if err != nil {
+		t.Fatalf("GC after corrupt index: %v", err)
+	}
+	if stats.Evicted == 0 {
+		t.Fatalf("GC evicted nothing after index recovery: %+v", stats)
+	}
+	// Oldest mtime (aa11) goes first under the fallback ordering.
+	if cacheHas(t, c2, "aa11") {
+		t.Error("aa11 survived GC despite oldest mtime under fallback ordering")
+	}
+	// The evicting pass rewrites a valid index.
+	if _, err := os.ReadFile(filepath.Join(dir, indexFile)); err != nil {
+		t.Errorf("index not rewritten after GC: %v", err)
+	}
+	c3, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.atime == nil {
+		t.Error("rewritten index failed to load")
+	}
+}

@@ -1,7 +1,9 @@
 package runner
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"time"
 )
@@ -19,6 +21,7 @@ type Manifest struct {
 	Jobs      int           `json:"jobs"`
 	Cached    int           `json:"cached"`
 	Failed    int           `json:"failed"`
+	Cancelled int           `json:"cancelled,omitempty"`
 	Runs      []ManifestRun `json:"runs"`
 }
 
@@ -28,7 +31,7 @@ type ManifestRun struct {
 	Scheme         string  `json:"scheme"`
 	Seed           int64   `json:"seed"`
 	CacheKey       string  `json:"cache_key,omitempty"`
-	Status         string  `json:"status"` // "ok", "cached", "failed" or "quarantined"
+	Status         string  `json:"status"` // "ok", "cached", "failed", "cancelled" or "quarantined"
 	ElapsedMS      float64 `json:"elapsed_ms"`
 	Attempts       int     `json:"attempts,omitempty"`
 	Error          string  `json:"error,omitempty"`
@@ -83,6 +86,13 @@ func NewManifest(tool string, opt Options, startedAt time.Time, results []JobRes
 				run.Diagnostics = d
 			}
 			m.Failed++
+		case errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded):
+			// An interrupted campaign still writes a valid manifest:
+			// jobs the shutdown drained away are recorded as cancelled,
+			// not conflated with real failures.
+			run.Status = "cancelled"
+			run.Error = r.Err.Error()
+			m.Cancelled++
 		case r.Err != nil:
 			run.Status = "failed"
 			run.Error = r.Err.Error()

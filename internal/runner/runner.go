@@ -30,7 +30,6 @@ package runner
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"runtime/debug"
 	"strings"
@@ -133,6 +132,24 @@ type Options struct {
 	// RetryBackoff is the pause before the first retry, doubling each
 	// further attempt; 0 retries immediately.
 	RetryBackoff time.Duration
+	// Executor, when non-nil, overrides how individual jobs run (a
+	// remote or instrumented backend). Nil uses a LocalExecutor built
+	// from the fields above; when set, Timeout/Cache/Retries/
+	// RetryBackoff are the executor's own business.
+	Executor Executor
+}
+
+// executor returns the configured Executor, defaulting to a local one.
+func (o Options) executor() Executor {
+	if o.Executor != nil {
+		return o.Executor
+	}
+	return &LocalExecutor{
+		Cache:        o.Cache,
+		Timeout:      o.Timeout,
+		Retries:      o.Retries,
+		RetryBackoff: o.RetryBackoff,
+	}
 }
 
 // EventType classifies a telemetry event.
@@ -237,25 +254,11 @@ func resolve(j Job) (resolved, error) {
 // setup problems (invalid jobs) or context cancellation; individual
 // job failures are reported in their JobResult.Err.
 func Run(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error) {
-	rs := make([]resolved, len(jobs))
 	var invalid []string
 	for i, j := range jobs {
-		r, err := resolve(j)
-		if err != nil {
+		if _, err := resolve(j); err != nil {
 			invalid = append(invalid, fmt.Sprintf("job %d (%s): %v", i, j, err))
-			continue
 		}
-		if opt.Cache != nil {
-			// The watchdog window is deliberately NOT part of the key:
-			// it can only turn a run into a failure, and failures are
-			// never cached, so every cached result is watchdog-neutral.
-			var extra []string
-			if r.faults != nil {
-				extra = append(extra, "faults="+r.faults.Fingerprint())
-			}
-			r.key = Key(r.exp, r.scheme, j.Seed, r.params, extra...)
-		}
-		rs[i] = r
 	}
 	if len(invalid) > 0 {
 		return nil, fmt.Errorf("runner: %d invalid job(s):\n  %s\nvalid experiment ids: %s",
@@ -289,8 +292,12 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error) {
 		}
 	}
 
+	exec := opt.executor()
 	started := ForEach(ctx, len(jobs), opt.Workers, func(i int) {
-		out[i] = runOne(ctx, jobs[i], rs[i], i, opt, emit)
+		out[i] = exec.Execute(ctx, jobs[i], func(ev Event) {
+			ev.Index = i
+			emit(ev)
+		})
 	})
 
 	if err := ctx.Err(); err != nil {
@@ -302,67 +309,6 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error) {
 		return out, err
 	}
 	return out, nil
-}
-
-// runOne executes a single job: cache probe (recovering from corrupt
-// entries), simulation with timeout and panic containment, transient
-// retries with exponential backoff, quarantine of deterministic
-// invariant violations, cache store, telemetry.
-func runOne(ctx context.Context, job Job, r resolved, i int, opt Options, emit func(Event)) JobResult {
-	emit(Event{Type: JobStart, Job: job, Index: i})
-	t0 := time.Now()
-	if opt.Cache != nil {
-		res, ok, gerr := opt.Cache.Get(r.key)
-		if ok {
-			jr := JobResult{Job: job, Result: res, Cached: true, Elapsed: time.Since(t0), Key: r.key}
-			emit(Event{Type: JobCached, Job: job, Index: i, JobElapsed: jr.Elapsed})
-			return jr
-		}
-		if gerr != nil {
-			// Corrupt entry: log, drop it, recompute. The fresh Put
-			// below overwrites the slot.
-			emit(Event{Type: JobCacheCorrupt, Job: job, Index: i, Err: gerr})
-			_ = opt.Cache.Remove(r.key)
-		}
-	}
-	var (
-		res *experiments.Result
-		err error
-	)
-	attempts := 0
-	for {
-		attempts++
-		res, err = executeBounded(ctx, job, r, opt.Timeout)
-		if err == nil || invariant.IsViolation(err) || ctx.Err() != nil || attempts > opt.Retries {
-			break
-		}
-		emit(Event{Type: JobRetry, Job: job, Index: i, Err: err})
-		if opt.RetryBackoff > 0 {
-			backoff := opt.RetryBackoff << (attempts - 1)
-			select {
-			case <-time.After(backoff):
-			case <-ctx.Done():
-			}
-		}
-	}
-	jr := JobResult{Job: job, Result: res, Err: err, Elapsed: time.Since(t0), Key: r.key, Attempts: attempts}
-	if err != nil {
-		var v *invariant.Violation
-		if errors.As(err, &v) {
-			jr.Quarantined = true
-			jr.Diagnostics = v.Snapshot
-		}
-		emit(Event{Type: JobFailed, Job: job, Index: i, JobElapsed: jr.Elapsed, Err: err})
-		return jr
-	}
-	if opt.Cache != nil {
-		// A failed store only costs the next run a recompute.
-		if perr := opt.Cache.Put(r.key, res); perr != nil {
-			jr.Err = fmt.Errorf("runner: %s ran but caching failed: %w", job, perr)
-		}
-	}
-	emit(Event{Type: JobDone, Job: job, Index: i, JobElapsed: jr.Elapsed})
-	return jr
 }
 
 // executeBounded runs the simulation in its own goroutine so the
