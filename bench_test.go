@@ -52,7 +52,7 @@ func runScaled(b *testing.B, expID, scheme string, scale float64) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		n, err := exp.Build(p, 1, exp.Bin, exp.Duration)
+		n, err := exp.Build(p, 1, exp.Bin, exp.Duration, experiments.BuildOpts{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -178,7 +178,7 @@ func ablate(b *testing.B, mutate func(*ccfit.Params)) {
 		if err := p.Validate(); err != nil {
 			b.Fatal(err)
 		}
-		n, err := exp.Build(p, 1, exp.Bin, exp.Duration)
+		n, err := exp.Build(p, 1, exp.Bin, exp.Duration, experiments.BuildOpts{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -233,6 +233,43 @@ func BenchmarkAblationStopThreshold(b *testing.B) {
 func BenchmarkExtraQueueing(b *testing.B) {
 	for _, s := range []string{"DBBM", "VOQsw", "OBQA"} {
 		b.Run(s, func(b *testing.B) { runScaled(b, "xqueueing", s, 0.5) })
+	}
+}
+
+// BenchmarkPartitionedEngine runs the 512-node Config #4
+// hotspot+victims scenario (x512hotspot, time-scaled) under the
+// partitioned engine at 1, 2 and 4 shard workers. Results are
+// byte-identical across worker counts, so ns/op is the only thing that
+// moves: on a multi-core host the >1 variants show the parallel
+// speedup; on a single core they price the window barriers and
+// mailbox hops instead.
+func BenchmarkPartitionedEngine(b *testing.B) {
+	exp, err := ccfit.ExperimentByID("x512hotspot")
+	if err != nil {
+		b.Fatal(err)
+	}
+	exp.Duration = ccfit.Cycle(float64(exp.Duration) * 0.1)
+	if exp.Bin > exp.Duration {
+		exp.Bin = exp.Duration
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				p, err := ccfit.Scheme("CCFIT")
+				if err != nil {
+					b.Fatal(err)
+				}
+				n, err := exp.Build(p, 1, exp.Bin, exp.Duration, experiments.BuildOpts{SimWorkers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n.Run(exp.Duration)
+				r := experiments.Harvest(exp, "CCFIT", 1, n)
+				mean = r.Summary.MeanNormalized
+			}
+			b.ReportMetric(mean, "norm-throughput")
+		})
 	}
 }
 

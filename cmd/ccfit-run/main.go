@@ -49,6 +49,7 @@ import (
 
 func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers")
+	simWorkers := flag.Int("sim-workers", 1, "partitioned-engine shard workers per simulation (1 = serial; results are byte-identical at any value)")
 	seed := flag.Int64("seed", 1, "base simulation seed")
 	seeds := flag.Int("seeds", 1, "replications per scheme (seeds seed..seed+N-1); >1 prints mean±sd tables")
 	schemesFlag := flag.String("schemes", "", "comma-separated scheme override (default: each experiment's own set)")
@@ -136,7 +137,14 @@ func main() {
 	// (experiment, scheme, seed) cell locally and on a server.
 	sub := campaign.Submission{Spec: experiments.Spec{
 		Experiments: ids, Schemes: schemes, Seed: *seed, Seeds: *seeds, MS: *ms,
+		SimWorkers: *simWorkers,
 	}}
+	// The runner applies the same cap itself; computing it here too makes
+	// the adjustment visible instead of silent.
+	if eff, capped := ccfit.EffectiveSimWorkers(*workers, *simWorkers, runtime.GOMAXPROCS(0)); capped && *serverURL == "" {
+		fmt.Fprintf(os.Stderr, "ccfit-run: capping -sim-workers %d -> %d per job: %d campaign workers x %d sim workers would oversubscribe GOMAXPROCS=%d\n",
+			*simWorkers, eff, *workers, *simWorkers, runtime.GOMAXPROCS(0))
+	}
 	if *faultsPath != "" {
 		script, err := ccfit.LoadFaultScript(*faultsPath)
 		if err != nil {

@@ -80,6 +80,9 @@ func main() {
 		Timeout:      *timeout,
 		Retries:      *retries,
 		RetryBackoff: *retryBackoff,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ccfit-serve: "+format+"\n", args...)
+		},
 	})
 	if err != nil {
 		fatal(err)

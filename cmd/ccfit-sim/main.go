@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	cfg := flag.Int("config", 1, "network configuration (1, 2 or 3; Table I)")
+	cfg := flag.Int("config", 1, "network configuration (1, 2, 3 — Table I — or 4, the 512-node fat tree)")
 	caseNo := flag.Int("case", 0, "traffic case (default: the paper's case for the config)")
 	scheme := flag.String("scheme", "CCFIT", "scheme: 1Q, FBICM, ITh, CCFIT, VOQnet, DBBM")
 	msFlag := flag.Float64("ms", 10, "simulated milliseconds")
@@ -34,6 +34,7 @@ func main() {
 	linksFlag := flag.Int("links", 0, "print the N most-utilized link directions to stderr")
 	faultsPath := flag.String("faults", "", "inject a deterministic fault script (JSON; see scripts/faults/)")
 	watchdog := flag.Int64("watchdog", 0, "forward-progress watchdog window in cycles (0 = default 262144, -1 = disable)")
+	simWorkers := flag.Int("sim-workers", 1, "partitioned-engine worker goroutines (1 = serial; results are byte-identical)")
 	flag.Parse()
 
 	p, err := ccfit.Scheme(*scheme)
@@ -50,18 +51,21 @@ func main() {
 	end := sim.CyclesFromMS(*msFlag)
 	bin := sim.CyclesFromNS(*binUS * 1000)
 
+	bo := experiments.BuildOpts{SimWorkers: *simWorkers}
 	var n *network.Network
 	switch *cfg {
 	case 1:
-		n, err = experiments.BuildConfig1(p, *seed, bin, end)
+		n, err = experiments.BuildConfig1(p, *seed, bin, end, bo)
 	case 2:
 		c := *caseNo
 		if c == 0 {
 			c = 2
 		}
-		n, err = experiments.BuildConfig2(p, *seed, bin, end, c)
+		n, err = experiments.BuildConfig2(p, *seed, bin, end, c, bo)
 	case 3:
-		n, err = experiments.BuildConfig3(p, *seed, bin, end, *trees)
+		n, err = experiments.BuildConfig3(p, *seed, bin, end, *trees, bo)
+	case 4:
+		n, err = experiments.BuildConfig4(p, *seed, bin, end, bo)
 	default:
 		fatal(fmt.Errorf("unknown config %d", *cfg))
 	}

@@ -32,6 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed for simulations and the fuzz generator")
 	fuzzIters := flag.Int("fuzz-iters", 0, "fuzz campaign size (0 = mode default: 25 quick, 200 full/fuzz)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel verification workers")
+	simWorkers := flag.Int("sim-workers", 1, "run the engine side of every differential under the partitioned engine with N shard workers (1 = serial; verdicts are identical either way)")
 	reproDir := flag.String("repro-dir", "", "write shrunk fuzz-failure repros (JSON) into this directory")
 	reproFile := flag.String("repro", "", "replay one repro file through the property suite and exit")
 	flag.Usage = func() {
@@ -53,11 +54,12 @@ func main() {
 	defer stop()
 
 	rep, err := oracle.Verify(ctx, oracle.VerifyOptions{
-		Mode:      *mode,
-		Seed:      *seed,
-		FuzzIters: *fuzzIters,
-		Workers:   *workers,
-		ReproDir:  *reproDir,
+		Mode:       *mode,
+		Seed:       *seed,
+		FuzzIters:  *fuzzIters,
+		Workers:    *workers,
+		SimWorkers: *simWorkers,
+		ReproDir:   *reproDir,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "ccfit-verify: "+format+"\n", args...)
 		},

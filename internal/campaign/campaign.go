@@ -149,15 +149,15 @@ type View struct {
 // campaign's current counters; "complete" closes it with the final
 // status.
 type Event struct {
-	Campaign string `json:"campaign"`
-	Type     string `json:"type"` // snapshot|start|done|cached|failed|retry|cache-corrupt|cancelled|complete
-	Index    int    `json:"index,omitempty"`
-	Job      string `json:"job,omitempty"`
-	Status   Status `json:"status,omitempty"` // snapshot and complete
-	Done     int    `json:"done"`
-	Total    int    `json:"total"`
+	Campaign  string  `json:"campaign"`
+	Type      string  `json:"type"` // snapshot|start|done|cached|failed|retry|cache-corrupt|cancelled|complete
+	Index     int     `json:"index,omitempty"`
+	Job       string  `json:"job,omitempty"`
+	Status    Status  `json:"status,omitempty"` // snapshot and complete
+	Done      int     `json:"done"`
+	Total     int     `json:"total"`
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
-	Error    string `json:"error,omitempty"`
+	Error     string  `json:"error,omitempty"`
 }
 
 // ErrNotFound is returned for unknown campaign ids.

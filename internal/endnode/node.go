@@ -148,6 +148,12 @@ func (n *Node) Disc() core.QDisc { return n.disc }
 // SetDeliverHook registers the metrics observer for sink deliveries.
 func (n *Node) SetDeliverHook(h DeliverHook) { n.onDeliver = h }
 
+// DeliverHook returns the currently registered observer, so harnesses
+// can chain a recorder in front of it. Chaining via this getter (rather
+// than assuming which collector is installed) keeps the hook shard-local
+// under the partitioned engine.
+func (n *Node) DeliverHook() DeliverHook { return n.onDeliver }
+
 // AttachLink wires the node's uplink: tx is the transmit direction
 // toward the switch, credits the pool mirroring the switch input
 // port's receive memory.

@@ -121,9 +121,39 @@ func Case4(end sim.Cycle, trees int) ([]traffic.Flow, error) {
 // (flow ids equal source ids in Case #4).
 func Case4IsHotFlow(id int) bool { return case4HotSource(id) }
 
+// Case5Hot is the hot destination of the Config #4 hotspot+victims
+// scenario (endpoint 3, leaf switch 0 of the 8-ary 3-tree).
+const Case5Hot = 3
+
+// Case5 is the hotspot+victims scenario on Configuration #4: one
+// source per odd leaf switch (32 of them) blasts endpoint Case5Hot
+// during the middle three fifths of the run, while a victim flow on
+// each of those same leaf switches sends steadily to an otherwise idle
+// even-leaf destination — congestion-tree-vs-victim separation at
+// 512-node scale. Victim flow ids are 100+leaf, hot flow ids are the
+// leaf index.
+func Case5(end sim.Cycle) []traffic.Flow {
+	var flows []traffic.Flow
+	for leaf := 1; leaf < 64; leaf += 2 {
+		flows = append(flows, traffic.Flow{
+			ID: leaf, Src: 8 * leaf, Dst: Case5Hot,
+			Start: end / 5, End: 4 * end / 5, Rate: 1.0,
+		})
+		// The victim shares the hot source's leaf switch; its destination
+		// leaf is even, so no victim destination is also a hot source's
+		// switch — and leaf 31's victim lands on the hot destination's own
+		// leaf, the most exposed victim of all.
+		flows = append(flows, traffic.Flow{
+			ID: 100 + leaf, Src: 8*leaf + 1, Dst: 8*((leaf+33)%64) + 2,
+			Start: 0, End: end, Rate: 1.0,
+		})
+	}
+	return activeOnly(flows, end)
+}
+
 // BuildConfig1 wires Configuration #1 with the scheme and Case #1.
-func BuildConfig1(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
-	n, err := network.Build(topo.Config1(), p, network.Options{Seed: seed, BinCycles: bin})
+func BuildConfig1(p core.Params, seed int64, bin, end sim.Cycle, o BuildOpts) (*network.Network, error) {
+	n, err := network.Build(topo.Config1(), p, network.Options{Seed: seed, BinCycles: bin, SimWorkers: o.SimWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -132,9 +162,9 @@ func BuildConfig1(p core.Params, seed int64, bin, end sim.Cycle) (*network.Netwo
 
 // BuildConfig2 wires Configuration #2 with the scheme and the chosen
 // case (2 or 3).
-func BuildConfig2(p core.Params, seed int64, bin, end sim.Cycle, caseNo int) (*network.Network, error) {
+func BuildConfig2(p core.Params, seed int64, bin, end sim.Cycle, caseNo int, o BuildOpts) (*network.Network, error) {
 	f := topo.Config2()
-	n, err := network.Build(f.Topology, p, network.Options{Seed: seed, BinCycles: bin, TieBreak: f.DETTieBreak})
+	n, err := network.Build(f.Topology, p, network.Options{Seed: seed, BinCycles: bin, TieBreak: f.DETTieBreak, SimWorkers: o.SimWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -149,9 +179,9 @@ func BuildConfig2(p core.Params, seed int64, bin, end sim.Cycle, caseNo int) (*n
 }
 
 // BuildConfig3 wires Configuration #3 with the scheme and Case #4.
-func BuildConfig3(p core.Params, seed int64, bin, end sim.Cycle, trees int) (*network.Network, error) {
+func BuildConfig3(p core.Params, seed int64, bin, end sim.Cycle, trees int, o BuildOpts) (*network.Network, error) {
 	f := topo.Config3()
-	n, err := network.Build(f.Topology, p, network.Options{Seed: seed, BinCycles: bin, TieBreak: f.DETTieBreak})
+	n, err := network.Build(f.Topology, p, network.Options{Seed: seed, BinCycles: bin, TieBreak: f.DETTieBreak, SimWorkers: o.SimWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -160,6 +190,17 @@ func BuildConfig3(p core.Params, seed int64, bin, end sim.Cycle, trees int) (*ne
 		return nil, err
 	}
 	return n, n.AddFlows(flows)
+}
+
+// BuildConfig4 wires Configuration #4 (512-node 8-ary 3-tree) with the
+// scheme and the hotspot+victims scenario.
+func BuildConfig4(p core.Params, seed int64, bin, end sim.Cycle, o BuildOpts) (*network.Network, error) {
+	f := topo.Config4()
+	n, err := network.Build(f.Topology, p, network.Options{Seed: seed, BinCycles: bin, TieBreak: f.DETTieBreak, SimWorkers: o.SimWorkers})
+	if err != nil {
+		return nil, err
+	}
+	return n, n.AddFlows(Case5(end))
 }
 
 // SchemeByName resolves a scheme preset: 1Q, FBICM, ITh, CCFIT, VOQnet

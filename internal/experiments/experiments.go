@@ -23,6 +23,16 @@ const (
 	ConfigTable
 )
 
+// BuildOpts carries run-shape options threaded from the CLI or a
+// campaign spec into the network build. Everything here is
+// outcome-neutral by construction (a partitioned run is byte-identical
+// to a serial one), so none of it belongs in result cache keys.
+type BuildOpts struct {
+	// SimWorkers is the partitioned-engine worker count handed to
+	// network.Options.SimWorkers (0 or 1 = the serial engine).
+	SimWorkers int
+}
+
 // Experiment is one reproducible unit of the evaluation.
 type Experiment struct {
 	ID      string
@@ -36,7 +46,7 @@ type Experiment struct {
 	// FlowIDs for FlowBandwidth experiments.
 	FlowIDs []int
 	// Build wires the network with traffic installed.
-	Build func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error)
+	Build func(p core.Params, seed int64, bin, end sim.Cycle, o BuildOpts) (*network.Network, error)
 }
 
 // Registry returns every experiment of the paper's evaluation, in
@@ -58,8 +68,8 @@ func Registry() []Experiment {
 			Schemes:  []string{"1Q", "ITh", "FBICM", "CCFIT"},
 			Duration: ms(10),
 			Bin:      bin,
-			Build: func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
-				return BuildConfig1(p, seed, bin, end)
+			Build: func(p core.Params, seed int64, bin, end sim.Cycle, o BuildOpts) (*network.Network, error) {
+				return BuildConfig1(p, seed, bin, end, o)
 			},
 		},
 		{
@@ -70,8 +80,8 @@ func Registry() []Experiment {
 			Schemes:  []string{"1Q", "ITh", "FBICM", "CCFIT"},
 			Duration: ms(10),
 			Bin:      bin,
-			Build: func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
-				return BuildConfig2(p, seed, bin, end, 2)
+			Build: func(p core.Params, seed int64, bin, end sim.Cycle, o BuildOpts) (*network.Network, error) {
+				return BuildConfig2(p, seed, bin, end, 2, o)
 			},
 		},
 		{
@@ -82,8 +92,8 @@ func Registry() []Experiment {
 			Schemes:  []string{"1Q", "ITh", "FBICM", "CCFIT"},
 			Duration: ms(10),
 			Bin:      bin,
-			Build: func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
-				return BuildConfig2(p, seed, bin, end, 3)
+			Build: func(p core.Params, seed int64, bin, end sim.Cycle, o BuildOpts) (*network.Network, error) {
+				return BuildConfig2(p, seed, bin, end, 3, o)
 			},
 		},
 		{
@@ -97,8 +107,8 @@ func Registry() []Experiment {
 			Duration: ms(10),
 			Bin:      bin,
 			FlowIDs:  []int{0, 1, 2, 5, 6},
-			Build: func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
-				return BuildConfig1(p, seed, bin, end)
+			Build: func(p core.Params, seed int64, bin, end sim.Cycle, o BuildOpts) (*network.Network, error) {
+				return BuildConfig1(p, seed, bin, end, o)
 			},
 		},
 		{
@@ -110,8 +120,8 @@ func Registry() []Experiment {
 			Duration: ms(10),
 			Bin:      bin,
 			FlowIDs:  []int{0, 1, 2, 3, 4},
-			Build: func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
-				return BuildConfig2(p, seed, bin, end, 2)
+			Build: func(p core.Params, seed int64, bin, end sim.Cycle, o BuildOpts) (*network.Network, error) {
+				return BuildConfig2(p, seed, bin, end, 2, o)
 			},
 		},
 	}
@@ -133,8 +143,8 @@ func Registry() []Experiment {
 			Schemes:  []string{"1Q", "ITh", "FBICM", "CCFIT", "VOQnet"},
 			Duration: ms(4),
 			Bin:      bin,
-			Build: func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
-				return BuildConfig3(p, seed, bin, end, trees)
+			Build: func(p core.Params, seed int64, bin, end sim.Cycle, o BuildOpts) (*network.Network, error) {
+				return BuildConfig3(p, seed, bin, end, trees, o)
 			},
 		})
 	}

@@ -294,7 +294,7 @@ func TestRenderers(t *testing.T) {
 
 func TestBuildConfig2RejectsBadCase(t *testing.T) {
 	p, _ := SchemeByName("1Q")
-	if _, err := BuildConfig2(p, 1, ms(0.05), ms(0.1), 7); err == nil {
+	if _, err := BuildConfig2(p, 1, ms(0.05), ms(0.1), 7, BuildOpts{}); err == nil {
 		t.Fatal("bad case accepted")
 	}
 }
@@ -340,7 +340,7 @@ func TestZeroDeliverySummaryFinite(t *testing.T) {
 		Kind:     Throughput,
 		Duration: ms(0.1),
 		Bin:      ms(0.05),
-		Build: func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
+		Build: func(p core.Params, seed int64, bin, end sim.Cycle, o BuildOpts) (*network.Network, error) {
 			return network.Build(topo.Config1(), p, network.Options{Seed: seed, BinCycles: bin})
 		},
 	}

@@ -25,8 +25,8 @@ func Extras() []Experiment {
 			},
 			Duration: ms(4),
 			Bin:      bin,
-			Build: func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
-				return BuildConfig3(p, seed, bin, end, 4)
+			Build: func(p core.Params, seed int64, bin, end sim.Cycle, o BuildOpts) (*network.Network, error) {
+				return BuildConfig3(p, seed, bin, end, 4, o)
 			},
 		},
 		{
@@ -40,12 +40,26 @@ func Extras() []Experiment {
 			Duration: ms(6),
 			Bin:      bin,
 			FlowIDs:  []int{1, 2, 5, 6},
-			Build: func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
-				n, err := network.Build(topo.Config1(), p, network.Options{Seed: seed, BinCycles: bin})
+			Build: func(p core.Params, seed int64, bin, end sim.Cycle, o BuildOpts) (*network.Network, error) {
+				n, err := network.Build(topo.Config1(), p, network.Options{Seed: seed, BinCycles: bin, SimWorkers: o.SimWorkers})
 				if err != nil {
 					return nil, err
 				}
 				return n, n.AddFlows(parkingLotFlows(end))
+			},
+		},
+		{
+			ID:    "x512hotspot",
+			Title: "Extra: hotspot+victims at 512-node scale (Config #4, 8-ary 3-tree)",
+			Paper: "not a paper figure; 32 sources on distinct leaf switches blast one hot endpoint mid-run while a victim flow on each of those switches crosses the fabric — isolation schemes must keep the victims at full bandwidth while the congestion tree forms and drains",
+			Kind:  Throughput,
+			Schemes: []string{
+				"1Q", "ITh", "FBICM", "CCFIT",
+			},
+			Duration: ms(2),
+			Bin:      bin,
+			Build: func(p core.Params, seed int64, bin, end sim.Cycle, o BuildOpts) (*network.Network, error) {
+				return BuildConfig4(p, seed, bin, end, o)
 			},
 		},
 		{
@@ -58,8 +72,8 @@ func Extras() []Experiment {
 			},
 			Duration: ms(10),
 			Bin:      bin,
-			Build: func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
-				n, err := BuildConfig1(p, seed, bin, end)
+			Build: func(p core.Params, seed int64, bin, end sim.Cycle, o BuildOpts) (*network.Network, error) {
+				n, err := BuildConfig1(p, seed, bin, end, o)
 				if err != nil {
 					return nil, err
 				}

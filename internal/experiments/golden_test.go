@@ -46,7 +46,7 @@ func goldenDigest(t *testing.T, expID, scheme string, scale float64) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := exp.Build(p, 1, exp.Bin, exp.Duration)
+	n, err := exp.Build(p, 1, exp.Bin, exp.Duration, BuildOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}

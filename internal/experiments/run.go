@@ -51,8 +51,15 @@ type Result struct {
 	Summary Summary
 }
 
-// Run executes one experiment under one scheme.
+// Run executes one experiment under one scheme on the serial engine.
 func Run(exp Experiment, scheme string, seed int64) (*Result, error) {
+	return RunWith(exp, scheme, seed, BuildOpts{})
+}
+
+// RunWith executes one experiment under one scheme with explicit build
+// options (e.g. a partitioned engine). Results are byte-identical to
+// Run for any worker count.
+func RunWith(exp Experiment, scheme string, seed int64, o BuildOpts) (*Result, error) {
 	if exp.Kind == ConfigTable {
 		return nil, fmt.Errorf("experiments: %s is a static table; use RenderTable1", exp.ID)
 	}
@@ -60,7 +67,7 @@ func Run(exp Experiment, scheme string, seed int64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	n, err := exp.Build(p, seed, exp.Bin, exp.Duration)
+	n, err := exp.Build(p, seed, exp.Bin, exp.Duration, o)
 	if err != nil {
 		return nil, err
 	}

@@ -41,6 +41,10 @@ type Spec struct {
 	// LoadCurve expands into synthetic uniform-traffic load points
 	// instead of registered experiments.
 	LoadCurve *LoadCurveSpec `json:"load_curve,omitempty"`
+	// SimWorkers requests the partitioned engine for every cell (0 or 1
+	// = serial). Outcome-neutral — partitioned runs are byte-identical —
+	// so it is deliberately NOT part of the result cache fingerprint.
+	SimWorkers int `json:"sim_workers,omitempty"`
 	// Label is a free-form display label (sweep point, submitter note).
 	Label string `json:"label,omitempty"`
 }
@@ -63,6 +67,8 @@ type Cell struct {
 	Scheme string
 	Seed   int64
 	Params *core.Params
+	// SimWorkers is the spec's requested engine worker count.
+	SimWorkers int
 }
 
 // SeedList returns the seeds a spec covers.
@@ -136,7 +142,7 @@ func (s Spec) Expand() ([]Cell, error) {
 		}
 		for _, scheme := range schemes {
 			for _, seed := range seeds {
-				cells = append(cells, Cell{Exp: e, Scheme: scheme, Seed: seed, Params: s.Params})
+				cells = append(cells, Cell{Exp: e, Scheme: scheme, Seed: seed, Params: s.Params, SimWorkers: s.SimWorkers})
 			}
 		}
 	}
@@ -171,7 +177,7 @@ func (s Spec) expandLoadCurve(seeds []int64) ([]Cell, error) {
 				return nil, err
 			}
 			for _, seed := range seeds {
-				cells = append(cells, Cell{Exp: e, Scheme: scheme, Seed: seed, Params: s.Params})
+				cells = append(cells, Cell{Exp: e, Scheme: scheme, Seed: seed, Params: s.Params, SimWorkers: s.SimWorkers})
 			}
 		}
 	}
@@ -202,9 +208,9 @@ func LoadPoint(config int, load float64, end, bin sim.Cycle) (Experiment, error)
 		Kind:     Throughput,
 		Duration: end,
 		Bin:      bin,
-		Build: func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
+		Build: func(p core.Params, seed int64, bin, end sim.Cycle, o BuildOpts) (*network.Network, error) {
 			n, err := network.Build(ft.Topology, p, network.Options{
-				Seed: seed, BinCycles: bin, TieBreak: ft.DETTieBreak,
+				Seed: seed, BinCycles: bin, TieBreak: ft.DETTieBreak, SimWorkers: o.SimWorkers,
 			})
 			if err != nil {
 				return nil, err

@@ -3,6 +3,7 @@ package fault
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/endnode"
 	"repro/internal/link"
@@ -40,9 +41,17 @@ type Stats struct {
 // time through engine events pinned to script cycles; replaying the
 // same seed + script is cycle-exact.
 type Injector struct {
-	eng   *sim.Engine
-	rng   *rand.Rand
-	stats Stats
+	eng *sim.Engine
+	rng *rand.Rand
+
+	// Stats are the only injector state touched at run time by the
+	// rng-free fault kinds, which partitioned runs execute on multiple
+	// worker goroutines; the mutex keeps the ledger race-free there.
+	// The counters are all commutative sums, so the final totals do not
+	// depend on arrival order. mu and stats are pointers so WithEngine
+	// views share one ledger.
+	mu    *sync.Mutex
+	stats *Stats
 }
 
 // NewInjector builds an injector whose random stream is derived from
@@ -54,17 +63,46 @@ func NewInjector(eng *sim.Engine, runSeed, scriptSeed int64) *Injector {
 	x ^= x >> 30
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
-	return &Injector{eng: eng, rng: rand.New(rand.NewSource(int64(x)))}
+	return &Injector{
+		eng:   eng,
+		rng:   rand.New(rand.NewSource(int64(x))),
+		mu:    new(sync.Mutex),
+		stats: new(Stats),
+	}
+}
+
+// WithEngine returns a view of the injector that schedules on eng —
+// partitioned runs pin each fault event onto the engine of the shard
+// owning its target component so the closure fires on that shard's
+// worker. The view shares the parent's random stream and stats ledger;
+// callers must only route rng-free kinds through shard engines (the
+// network layer rejects the rng-using kinds under partitioning).
+func (in *Injector) WithEngine(eng *sim.Engine) *Injector {
+	if eng == in.eng {
+		return in
+	}
+	return &Injector{eng: eng, rng: in.rng, mu: in.mu, stats: in.stats}
 }
 
 // Stats returns what the injector has done so far.
-func (in *Injector) Stats() Stats { return in.stats }
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return *in.stats
+}
+
+// bump applies one ledger update under the shared mutex.
+func (in *Injector) bump(f func(*Stats)) {
+	in.mu.Lock()
+	f(in.stats)
+	in.mu.Unlock()
+}
 
 // ScheduleLinkDegrade reduces h's bandwidth to bpc over [at, at+dur).
 // dur 0 degrades for the rest of the run.
 func (in *Injector) ScheduleLinkDegrade(at, dur sim.Cycle, h *link.Half, bpc int) {
 	in.eng.At(at, func() {
-		in.stats.Degrades++
+		in.bump(func(s *Stats) { s.Degrades++ })
 		h.Degrade(bpc)
 	})
 	if dur > 0 {
@@ -77,11 +115,15 @@ func (in *Injector) ScheduleLinkDegrade(at, dur sim.Cycle, h *link.Half, bpc int
 // fails the link for the rest of the run.
 func (in *Injector) ScheduleLinkFlap(at, dur sim.Cycle, h *link.Half, drop bool) {
 	in.eng.At(at, func() {
-		in.stats.Flaps++
 		h.SetDown(true)
+		dropped := 0
 		if drop {
-			in.stats.Condemned += h.DropInFlight()
+			dropped = h.DropInFlight()
 		}
+		in.bump(func(s *Stats) {
+			s.Flaps++
+			s.Condemned += dropped
+		})
 	})
 	if dur > 0 {
 		in.eng.At(at+dur, func() { h.SetDown(false) })
@@ -94,7 +136,7 @@ func (in *Injector) ScheduleSwitchStall(at, dur sim.Cycle, sw *switchfab.Switch)
 		dur = forever
 	}
 	in.eng.At(at, func() {
-		in.stats.Stalls++
+		in.bump(func(s *Stats) { s.Stalls++ })
 		sw.Stall(dur)
 	})
 }
@@ -105,7 +147,7 @@ func (in *Injector) ScheduleNodePause(at, dur sim.Cycle, nd *endnode.Node) {
 		dur = forever
 	}
 	in.eng.At(at, func() {
-		in.stats.Pauses++
+		in.bump(func(s *Stats) { s.Pauses++ })
 		nd.Pause(dur)
 	})
 }
@@ -149,7 +191,7 @@ func (in *Injector) ScheduleCtlNoise(at, dur sim.Cycle, targets []*switchfab.Swi
 			m.Dests = []int{in.rng.Intn(numEndpoints)}
 		}
 		sw.ControlReceiver(p).ReceiveControl(m)
-		in.stats.NoiseSent++
+		in.bump(func(s *Stats) { s.NoiseSent++ })
 		in.eng.At(now+sim.Cycle(period), tick)
 	}
 	in.eng.At(at, tick)
@@ -173,7 +215,7 @@ func (in *Injector) ScheduleCtlTamper(at, dur sim.Cycle, h *link.Half, kind Kind
 			if m.Kind == link.Credit || in.rng.Float64() >= prob {
 				return []link.Control{m}, 0
 			}
-			in.stats.Corrupted++
+			in.bump(func(s *Stats) { s.Corrupted++ })
 			m.CFQ = in.rng.Intn(numCFQs+4) - 2
 			return []link.Control{m}, 0
 		}
@@ -182,7 +224,7 @@ func (in *Injector) ScheduleCtlTamper(at, dur sim.Cycle, h *link.Half, kind Kind
 			if m.Kind == link.Credit || in.rng.Float64() >= prob {
 				return []link.Control{m}, 0
 			}
-			in.stats.Duplicated++
+			in.bump(func(s *Stats) { s.Duplicated++ })
 			return []link.Control{m, m}, 0
 		}
 	case CtlDelay:
@@ -190,7 +232,7 @@ func (in *Injector) ScheduleCtlTamper(at, dur sim.Cycle, h *link.Half, kind Kind
 			if m.Kind == link.Credit || in.rng.Float64() >= prob {
 				return []link.Control{m}, 0
 			}
-			in.stats.Delayed++
+			in.bump(func(s *Stats) { s.Delayed++ })
 			return []link.Control{m}, delay
 		}
 	default:

@@ -107,6 +107,20 @@ type Half struct {
 	onDrop func(p *pkt.Packet)
 	tamper TamperFunc
 
+	// remote, when non-nil, marks this direction as cut by a network
+	// partition: the far end lives on a different shard engine, so
+	// arrivals are posted into the mailbox (drained at the next window
+	// barrier) instead of being scheduled with eng.At. All transmit-side
+	// state above stays owned by the sending shard; the arrival mirror
+	// below is owned by the receiving shard, and the pair is only read
+	// together (InFlight) at barriers, when both shards are parked.
+	// Fault operations are rejected on cut directions — see SetDown.
+	remote *sim.Mailbox
+	// remoteArrivedPkts/Bytes count packets landed at the far end of a
+	// cut direction (receiver-owned mirror of the in-flight ledger).
+	remoteArrivedPkts  int
+	remoteArrivedBytes int
+
 	// In-flight accounting: bytes/packets sent but not yet arrived
 	// (the invariant checker's "on the wire" ledger term).
 	inFlightPkts  int
@@ -138,6 +152,14 @@ func (h *Half) SetReceivers(p PacketReceiver, c ControlReceiver) {
 	h.pktRx = p
 	h.ctlRx = c
 }
+
+// SetRemote marks the direction as cut by a partition: deliveries go
+// through mb (whose destination engine is the receiving shard's)
+// instead of the owning engine's event heap. Wiring-time only.
+func (h *Half) SetRemote(mb *sim.Mailbox) { h.remote = mb }
+
+// Remote reports whether the direction crosses a shard boundary.
+func (h *Half) Remote() bool { return h.remote != nil }
 
 // BytesPerCycle returns the direction's bandwidth.
 func (h *Half) BytesPerCycle() int { return h.bpc }
@@ -176,9 +198,16 @@ func (h *Half) Send(now sim.Cycle, p *pkt.Packet, cfq int) sim.Cycle {
 	h.busyCycles += tx
 	h.sentPkts++
 	h.sentBytes += p.Size
+	arrive := h.busyUntil + h.delay
+	if h.remote != nil {
+		// Cut direction: the in-flight ledger is sent − arrived (two
+		// single-writer counters, one per shard) instead of the local
+		// inFlight counters, which would need both shards to write.
+		h.remote.Post(arrive, func() { h.arriveRemote(p, cfq) })
+		return h.busyUntil
+	}
 	h.inFlightPkts++
 	h.inFlightBytes += p.Size
-	arrive := h.busyUntil + h.delay
 	ep := h.epoch
 	h.eng.At(arrive, func() { h.arrive(p, cfq, ep) })
 	return h.busyUntil
@@ -202,12 +231,34 @@ func (h *Half) arrive(p *pkt.Packet, cfq int, ep uint32) {
 	h.pktRx.ReceivePacket(p, cfq)
 }
 
+// arriveRemote lands a packet that crossed a shard boundary. It runs on
+// the receiving shard's engine, so it only touches the receiver-owned
+// arrival mirror — never the transmit-side counters. Cut directions
+// reject fault operations, so there is no epoch to check.
+func (h *Half) arriveRemote(p *pkt.Packet, cfq int) {
+	h.remoteArrivedPkts++
+	h.remoteArrivedBytes += p.Size
+	h.pktRx.ReceivePacket(p, cfq)
+}
+
 // SetDown fails (true) or restores (false) the direction. While down,
 // Free reports false so no new packet starts; packets already on the
 // wire still arrive unless DropInFlight is also called (the scripted
 // flap policy chooses preserve vs. drop). Control messages keep
 // flowing — see the field comment on down.
-func (h *Half) SetDown(down bool) { h.down = down }
+func (h *Half) SetDown(down bool) { h.rejectFaultIfCut("SetDown"); h.down = down }
+
+// rejectFaultIfCut panics when a fault operation targets a cut
+// direction: fault state (down, epoch, bandwidth, tamper) is read on
+// the send path by the owning shard, and arrival-side drop handling
+// refunds sender-side credit — both would race across the boundary.
+// network.InjectFaults validates scripts up front and returns an error;
+// this panic is the backstop for direct API misuse.
+func (h *Half) rejectFaultIfCut(op string) {
+	if h.remote != nil {
+		panic(fmt.Sprintf("link %s: %s on a partition-cut direction (fault injection is not supported on cut links)", h.name, op))
+	}
+}
 
 // Down reports whether the direction is currently failed.
 func (h *Half) Down() bool { return h.down }
@@ -217,6 +268,7 @@ func (h *Half) Down() bool { return h.down }
 // handler at its would-be arrival cycle (so ledger accounting stays
 // cycle-accurate).
 func (h *Half) DropInFlight() int {
+	h.rejectFaultIfCut("DropInFlight")
 	h.epoch++
 	return h.inFlightPkts
 }
@@ -230,6 +282,7 @@ func (h *Half) SetDropHandler(fn func(p *pkt.Packet)) { h.onDrop = fn }
 // lane / lowered width). In-progress serialization keeps its original
 // timing; only future sends see the degraded rate.
 func (h *Half) Degrade(bytesPerCycle int) {
+	h.rejectFaultIfCut("Degrade")
 	if bytesPerCycle <= 0 {
 		panic("link: degraded bandwidth must be positive")
 	}
@@ -244,10 +297,23 @@ func (h *Half) NominalBPC() int { return h.nominalBPC }
 
 // SetControlTamper installs (or, with nil, removes) a control-channel
 // fault. While installed every SendControl passes through fn.
-func (h *Half) SetControlTamper(fn TamperFunc) { h.tamper = fn }
+func (h *Half) SetControlTamper(fn TamperFunc) {
+	if fn != nil {
+		h.rejectFaultIfCut("SetControlTamper")
+	}
+	h.tamper = fn
+}
 
-// InFlight returns the packets and bytes currently on the wire.
-func (h *Half) InFlight() (pkts, bytes int) { return h.inFlightPkts, h.inFlightBytes }
+// InFlight returns the packets and bytes currently on the wire. On a
+// cut direction this combines the sender's sent counters with the
+// receiver's arrival mirror, so it is only coherent at window barriers
+// (which is when the invariant checker reads it).
+func (h *Half) InFlight() (pkts, bytes int) {
+	if h.remote != nil {
+		return h.sentPkts - h.remoteArrivedPkts, h.sentBytes - h.remoteArrivedBytes
+	}
+	return h.inFlightPkts, h.inFlightBytes
+}
 
 // Dropped returns the packets and bytes condemned by DropInFlight.
 func (h *Half) Dropped() (pkts, bytes int) { return h.droppedPkts, h.droppedBytes }
@@ -269,6 +335,11 @@ func (h *Half) SendControl(now sim.Cycle, m Control) {
 		panic(fmt.Sprintf("link %s: no control receiver attached", h.name))
 	}
 	rx := h.ctlRx
+	if h.remote != nil {
+		// Cut direction (tamper is rejected there, so no fault path).
+		h.remote.Post(now+h.delay, func() { rx.ReceiveControl(m) })
+		return
+	}
 	if h.tamper != nil {
 		out, extra := h.tamper(m)
 		for _, mm := range out {

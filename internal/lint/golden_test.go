@@ -112,6 +112,7 @@ func checkGolden(t *testing.T, diags []Diagnostic, file string, wants []want) {
 
 func TestGoldenDeterminism(t *testing.T)     { testGolden(t, "detviol") }
 func TestGoldenHotpathAlloc(t *testing.T)    { testGolden(t, "hotviol") }
+func TestGoldenMailboxOrder(t *testing.T)    { testGolden(t, "mailviol") }
 func TestGoldenPhaseDiscipline(t *testing.T) { testGolden(t, "phaseviol") }
 func TestGoldenPoolHygiene(t *testing.T)     { testGolden(t, "poolviol") }
 func TestGoldenUncheckedErr(t *testing.T)    { testGolden(t, "errviol") }

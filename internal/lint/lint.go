@@ -94,6 +94,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism(),
 		HotpathAlloc(),
+		MailboxOrder(),
 		PhaseDiscipline(),
 		PoolHygiene(),
 		UncheckedErr(),

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MailboxOrder enforces the partitioned engine's cross-shard ordering
+// contract at the call site: sim.Mailbox.Drain assigns destination-
+// engine sequence numbers in call order, so the order in which a
+// barrier drains its mailboxes IS the cross-shard delivery order. A
+// drain is only deterministic when it happens inside a loop over an
+// index-ordered collection (a slice or array) — one mailbox drained
+// from several ad-hoc sites, or from a map iteration, makes same-cycle
+// cross-shard delivery depend on control flow the next refactor can
+// silently reorder.
+func MailboxOrder() *Analyzer {
+	return &Analyzer{
+		Name:    "mailbox-order",
+		Doc:     "sim.Mailbox.Drain must be called from a loop over a slice/array, so cross-shard delivery order is a fixed index order",
+		Applies: simPkgScope,
+		Run:     runMailboxOrder,
+	}
+}
+
+func runMailboxOrder(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		// Collect the body spans of index-ordered loops: `for ... range
+		// <slice-or-array>` and the classic three-clause `for` (whose
+		// iteration order is the loop variable's, inherently fixed).
+		type span struct{ lo, hi ast.Node }
+		var ordered []span
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if tv, ok := info.Types[n.X]; ok {
+					switch tv.Type.Underlying().(type) {
+					case *types.Slice, *types.Array, *types.Pointer:
+						ordered = append(ordered, span{n.Body, n.Body})
+					}
+				}
+			case *ast.ForStmt:
+				ordered = append(ordered, span{n.Body, n.Body})
+			}
+			return true
+		})
+		inOrdered := func(pos ast.Node) bool {
+			for _, s := range ordered {
+				if s.lo.Pos() <= pos.Pos() && pos.End() <= s.hi.End() {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isMailboxDrain(pass, call) {
+				return true
+			}
+			if inOrdered(call) {
+				return true
+			}
+			pass.Report(call.Pos(),
+				"Mailbox.Drain outside an index-ordered loop: drain order assigns cross-shard event sequence numbers, and an ad-hoc call site lets a refactor silently reorder same-cycle delivery",
+				"drain every mailbox from one `for _, mb := range <slice>` loop in fixed index order (see Network.barrier)")
+			return true
+		})
+	}
+}
+
+// isMailboxDrain reports whether call invokes (*sim.Mailbox).Drain.
+func isMailboxDrain(pass *Pass, call *ast.CallExpr) bool {
+	callee := calleeFunc(pass.Pkg.Info, call)
+	if callee == nil || callee.Name() != "Drain" || callee.Pkg() == nil {
+		return false
+	}
+	if callee.Pkg().Path() != pass.Module.Name+"/internal/sim" {
+		return false
+	}
+	recv := recvNamed(callee)
+	return recv != nil && recv.Obj().Name() == "Mailbox"
+}

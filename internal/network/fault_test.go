@@ -161,7 +161,7 @@ func TestFaultDegradeRestores(t *testing.T) {
 	if n.FaultInjector().Stats().Degrades != 1 {
 		t.Fatal("degrade not applied")
 	}
-	h := n.halfEnds[[2]int{topo.Config1SwitchA, topo.Config1SwitchB}]
+	h := n.HalfByEnds(topo.Config1SwitchA, topo.Config1SwitchB)
 	if h.BytesPerCycle() != h.NominalBPC() {
 		t.Fatalf("bandwidth not restored: %d of %d", h.BytesPerCycle(), h.NominalBPC())
 	}

@@ -44,6 +44,13 @@ type Options struct {
 	// OnViolation consumes invariant violations (nil panics with the
 	// *invariant.Violation, which the runner recovers per job).
 	OnViolation func(*invariant.Violation)
+	// SimWorkers partitions the device graph across this many shard
+	// engines driven by worker goroutines, advancing in lockstep windows
+	// with deterministic barriers (DESIGN.md §9). Results are
+	// byte-identical to the serial engine. <= 1 (the default) builds the
+	// unchanged single-engine network; values above the switch count are
+	// capped.
+	SimWorkers int
 }
 
 // Network is a fully wired simulation instance.
@@ -58,14 +65,31 @@ type Network struct {
 	Gen       *traffic.Generator
 	Checker   *invariant.Checker // nil when Options.DisableInvariants
 
-	ids      pkt.IDGen
-	pool     pkt.Pool // per-network packet free-list (single-goroutine)
-	byDev    map[int]*switchfab.Switch
-	linkBPC  []int // injection bandwidth per endpoint
-	halves   []*link.Half
-	halfEnds map[[2]int]*link.Half           // (from,to) device ids -> direction
-	halfPool map[*link.Half]*core.CreditPool // sender-side pool per direction
-	injector *fault.Injector
+	ids     pkt.IDGen
+	pool    pkt.Pool // shard 0's packet free-list (the only one when serial)
+	byDev   map[int]*switchfab.Switch
+	linkBPC []int // injection bandwidth per endpoint
+	minBPC  int   // slowest endpoint link (collector normalisation)
+
+	// halves is dense, indexed by stable half id assigned in wiring
+	// order: link li's A->B direction is halves[2*li], B->A is
+	// halves[2*li+1]. poolByHalf holds each direction's sender-side
+	// credit pool under the same ids (the drop-refund path and the
+	// fault injector resolve halves without map lookups).
+	halves     []*link.Half
+	poolByHalf []*core.CreditPool
+	injector   *fault.Injector
+
+	// Partitioned execution (nil/empty when serial).
+	part      *Partition
+	par       *sim.Parallel
+	engines   []*sim.Engine
+	mailboxes []*sim.Mailbox       // cut-direction mailboxes in half-id order
+	shardIDs  []*pkt.IDGen         // per-shard id generators ([0] = &ids)
+	shardPool []*pkt.Pool          // per-shard packet free-lists ([0] = &pool)
+	shardCols []*metrics.Collector // per-shard collectors feeding the merged view
+	gens      []*traffic.Generator // per-shard generators (gens[0] == Gen)
+	nextAudit sim.Cycle            // next barrier cycle to run the invariant audit
 }
 
 // Build wires a network for the given topology and scheme parameters.
@@ -83,17 +107,33 @@ func Build(t *topo.Topology, p core.Params, opt Options) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine(opt.Seed)
-	ne := t.NumEndpoints()
 	n := &Network{
-		Eng:      eng,
-		Topo:     t,
-		Tables:   tables,
-		Params:   p,
-		byDev:    make(map[int]*switchfab.Switch),
-		halfEnds: make(map[[2]int]*link.Half),
-		halfPool: make(map[*link.Half]*core.CreditPool),
+		Topo:   t,
+		Tables: tables,
+		Params: p,
+		byDev:  make(map[int]*switchfab.Switch),
 	}
+
+	// Partitioned mode: cut the device graph and build one engine per
+	// shard, all sharing seed and RNG-derivation counter so that the
+	// serial global build order below hands out exactly the serial
+	// random streams. MakePartition returns nil for topologies too small
+	// to shard, falling back to the unchanged serial engine.
+	if opt.SimWorkers > 1 {
+		part, perr := MakePartition(t, opt.SimWorkers)
+		if perr != nil {
+			return nil, perr
+		}
+		n.part = part
+	}
+	if n.part != nil {
+		n.engines = sim.NewEngineGroup(opt.Seed, n.part.N)
+	} else {
+		n.engines = []*sim.Engine{sim.NewEngine(opt.Seed)}
+	}
+	n.Eng = n.engines[0]
+	eng := n.Eng
+	ne := t.NumEndpoints()
 
 	// Endpoint injection bandwidths (for normalisation and traffic).
 	n.linkBPC = make([]int, ne)
@@ -106,13 +146,33 @@ func Build(t *topo.Topology, p core.Params, opt Options) (*Network, error) {
 			minBPC = l.BytesPerCycle
 		}
 	}
+	n.minBPC = minBPC
+
+	// Per-shard packet plumbing. Serial keeps the embedded ids/pool and
+	// the single collector; partitioned shards each get their own (ids
+	// are behavior-neutral — nothing orders on packet id — and the
+	// collectors merge exactly, so the digest cannot tell the difference).
+	n.shardIDs = []*pkt.IDGen{&n.ids}
+	n.shardPool = []*pkt.Pool{&n.pool}
 	n.Collector = metrics.New(opt.BinCycles, ne, minBPC)
+	n.shardCols = []*metrics.Collector{n.Collector}
+	for s := 1; s < len(n.engines); s++ {
+		n.shardIDs = append(n.shardIDs, &pkt.IDGen{})
+		n.shardPool = append(n.shardPool, &pkt.Pool{})
+		n.shardCols = append(n.shardCols, metrics.New(opt.BinCycles, ne, minBPC))
+	}
+	if n.part != nil {
+		// The exported Collector becomes the merged view, rebuilt after
+		// every Run; the per-shard collectors are the live sinks.
+		n.Collector = metrics.New(opt.BinCycles, ne, minBPC)
+	}
 
 	// Devices.
 	n.Nodes = make([]*endnode.Node, ne)
 	for e := 0; e < ne; e++ {
-		node := endnode.New(eng, e, &n.Params, ne, &n.ids, &n.pool)
-		node.SetDeliverHook(n.Collector.Delivered)
+		s := n.shardOfDevice(t.EndpointDevice(e))
+		node := endnode.New(n.engines[s], e, &n.Params, ne, n.shardIDs[s], n.shardPool[s])
+		node.SetDeliverHook(n.shardCols[s].Delivered)
 		n.Nodes[e] = node
 	}
 	for _, d := range t.Devices {
@@ -129,7 +189,7 @@ func Build(t *topo.Topology, p core.Params, opt Options) (*Network, error) {
 				xbar = t.Links[c.Link].BytesPerCycle
 			}
 		}
-		sw := switchfab.New(eng, dev, d.Label, len(d.Ports), &n.Params,
+		sw := switchfab.New(n.engines[n.shardOfDevice(dev)], dev, d.Label, len(d.Ports), &n.Params,
 			func(dest int) int { return tables.OutPort(dev, dest) }, ne, xbar)
 		ports := d.Ports
 		sw.SetLookahead(func(out, dest int) int {
@@ -148,48 +208,132 @@ func Build(t *topo.Topology, p core.Params, opt Options) (*Network, error) {
 	}
 
 	// Links: one Half per direction, receivers at the far end, credits
-	// sized to the far end's receive memory.
+	// sized to the far end's receive memory. Half ids are dense and
+	// stable: link li contributes halves[2*li] (A->B) and halves[2*li+1]
+	// (B->A). A direction whose ends live on different shards is a cut:
+	// it gets a mailbox into the receiving shard's engine, appended here
+	// in half-id order — the order the barrier drains them in.
+	n.halves = make([]*link.Half, 0, 2*len(t.Links))
+	n.poolByHalf = make([]*core.CreditPool, 0, 2*len(t.Links))
 	for li, ls := range t.Links {
-		ab := link.NewHalf(eng, fmt.Sprintf("L%d:%d->%d", li, ls.DevA, ls.DevB), ls.BytesPerCycle, ls.Delay)
-		ba := link.NewHalf(eng, fmt.Sprintf("L%d:%d->%d", li, ls.DevB, ls.DevA), ls.BytesPerCycle, ls.Delay)
+		engA := n.engines[n.shardOfDevice(ls.DevA)]
+		engB := n.engines[n.shardOfDevice(ls.DevB)]
+		ab := link.NewHalf(engA, fmt.Sprintf("L%d:%d->%d", li, ls.DevA, ls.DevB), ls.BytesPerCycle, ls.Delay)
+		ba := link.NewHalf(engB, fmt.Sprintf("L%d:%d->%d", li, ls.DevB, ls.DevA), ls.BytesPerCycle, ls.Delay)
 		ab.SetReceivers(n.pktRx(ls.DevB, ls.PortB), n.ctlRx(ls.DevB, ls.PortB))
 		ba.SetReceivers(n.pktRx(ls.DevA, ls.PortA), n.ctlRx(ls.DevA, ls.PortA))
-		n.attach(ls.DevA, ls.PortA, ab, n.creditPool(ls.DevB))
-		n.attach(ls.DevB, ls.PortB, ba, n.creditPool(ls.DevA))
+		poolAB := n.creditPool(ls.DevB)
+		poolBA := n.creditPool(ls.DevA)
+		n.attach(ls.DevA, ls.PortA, ab, poolAB)
+		n.attach(ls.DevB, ls.PortB, ba, poolBA)
 		n.halves = append(n.halves, ab, ba)
-		n.halfEnds[[2]int{ls.DevA, ls.DevB}] = ab
-		n.halfEnds[[2]int{ls.DevB, ls.DevA}] = ba
-		ab.SetDropHandler(n.dropHandler(ab))
-		ba.SetDropHandler(n.dropHandler(ba))
+		n.poolByHalf = append(n.poolByHalf, poolAB, poolBA)
+		if engA != engB {
+			hint := 4*int(n.part.Window) + 8
+			mab := sim.NewMailbox(engB, hint)
+			mba := sim.NewMailbox(engA, hint)
+			ab.SetRemote(mab)
+			ba.SetRemote(mba)
+			n.mailboxes = append(n.mailboxes, mab, mba)
+		}
+		ab.SetDropHandler(n.dropHandler(poolAB, n.shardPool[n.shardOfDevice(ls.DevA)]))
+		ba.SetDropHandler(n.dropHandler(poolBA, n.shardPool[n.shardOfDevice(ls.DevB)]))
 	}
 
 	if !opt.DisableInvariants {
-		// Attached after every component so the audit ticks last in the
-		// update phase, seeing each cycle's settled state.
-		n.Checker = invariant.Attach(eng, invariant.Config{
+		cfg := invariant.Config{
 			Nodes:          n.Nodes,
 			Switches:       n.Switches,
 			Halves:         n.halves,
 			WatchdogWindow: opt.WatchdogWindow,
 			OnViolation:    opt.OnViolation,
-		})
+		}
+		if n.part == nil {
+			// Attached after every component so the audit ticks last in
+			// the update phase, seeing each cycle's settled state.
+			n.Checker = invariant.Attach(eng, cfg)
+		} else {
+			// A per-engine ticker would only see one shard; instead the
+			// window barrier audits the whole network at its quiescent
+			// points, paced to roughly the same interval.
+			n.Checker = invariant.Detached(eng, cfg)
+		}
+	}
+	if n.part != nil {
+		n.par = sim.NewParallel(n.engines, n.part.Window, n.barrier)
 	}
 	return n, nil
 }
+
+// shardOfDevice maps a device to its shard index (0 when serial).
+func (n *Network) shardOfDevice(dev int) int {
+	if n.part == nil {
+		return 0
+	}
+	return n.part.ShardOf[dev]
+}
+
+// barrier runs single-threaded between lockstep windows with every
+// shard parked at cycle now: it drains the cut-link mailboxes in dense
+// half-id order (making cross-shard delivery order a pure function of
+// simulation state) and runs the periodic whole-network invariant
+// audit, which is only coherent here.
+func (n *Network) barrier(now sim.Cycle) {
+	for _, mb := range n.mailboxes {
+		mb.Drain()
+	}
+	if n.Checker != nil && now >= n.nextAudit {
+		n.Checker.CheckAt(now)
+		n.nextAudit = now + n.Checker.CheckEvery()
+	}
+}
+
+// Partitioned reports whether the network runs on the partitioned
+// engine, and with how many shards (0 shards when serial).
+func (n *Network) Partitioned() (bool, int) {
+	if n.part == nil {
+		return false, 0
+	}
+	return true, n.part.N
+}
+
+// PartitionInfo returns the partition driving a partitioned network
+// (nil when serial) — diagnostics and tests.
+func (n *Network) PartitionInfo() *Partition { return n.part }
 
 // dropHandler builds the lossless-aware consumer for packets condemned
 // by a drop-policy link flap on h: the sender already took credit for
 // receive-buffer space the packet will never occupy, so the credit is
 // refunded at the sender-side pool, and the packet (owned by the wire
-// at that point) is released. The half itself records the drop for the
-// conservation ledger.
-func (n *Network) dropHandler(h *link.Half) func(*pkt.Packet) {
+// at that point) is released into the sending shard's free-list. Both
+// pools are captured at wiring time — no map lookup on the drop path.
+func (n *Network) dropHandler(credits *core.CreditPool, pp *pkt.Pool) func(*pkt.Packet) {
 	return func(p *pkt.Packet) {
-		if pool := n.halfPool[h]; pool != nil {
-			pool.Give(p.Dst, p.Size)
+		if credits != nil {
+			credits.Give(p.Dst, p.Size)
 		}
-		n.pool.Release(p)
+		pp.Release(p)
 	}
+}
+
+// HalfByEnds resolves the transmit direction from device `from` to its
+// neighbor `to` via the dense half-id layout (2*link for the A->B
+// direction, 2*link+1 for B->A), or nil when the devices are not
+// adjacent. Fault scripts address links this way.
+func (n *Network) HalfByEnds(from, to int) *link.Half {
+	if from < 0 || from >= len(n.Topo.Devices) {
+		return nil
+	}
+	for _, c := range n.Topo.Devices[from].Ports {
+		if c.Peer != to {
+			continue
+		}
+		if n.Topo.Links[c.Link].DevA == from {
+			return n.halves[2*c.Link]
+		}
+		return n.halves[2*c.Link+1]
+	}
+	return nil
 }
 
 // creditPool builds the credit pool mirroring dev's receive buffers:
@@ -220,7 +364,6 @@ func (n *Network) ctlRx(dev, port int) link.ControlReceiver {
 }
 
 func (n *Network) attach(dev, port int, tx *link.Half, credits *core.CreditPool) {
-	n.halfPool[tx] = credits
 	if n.Topo.Devices[dev].Kind == topo.Endpoint {
 		n.Nodes[n.Topo.Devices[dev].EndpointID].AttachLink(tx, credits)
 		return
@@ -236,11 +379,31 @@ func (n *Network) AddFlows(flows []traffic.Flow) error {
 	if n.Gen != nil {
 		return fmt.Errorf("network: flows already installed")
 	}
-	gen, err := traffic.NewGenerator(n.Eng, n.Nodes, n.linkBPC, flows, &n.ids, &n.pool, n.Collector.Injected)
+	if n.part == nil {
+		gen, err := traffic.NewGenerator(n.Eng, n.Nodes, n.linkBPC, flows, &n.ids, &n.pool, n.Collector.Injected)
+		if err != nil {
+			return err
+		}
+		n.Gen = gen
+		return nil
+	}
+	// Partitioned: one generator per shard, each driving the flows whose
+	// source endpoint lives there, drawing uniform-destination RNGs in
+	// global flow order off the shared derivation counter.
+	shardOfNode := make([]int, len(n.Nodes))
+	for e := range n.Nodes {
+		shardOfNode[e] = n.shardOfDevice(n.Topo.EndpointDevice(e))
+	}
+	hooks := make([]traffic.InjectHook, len(n.engines))
+	for s := range hooks {
+		hooks[s] = n.shardCols[s].Injected
+	}
+	gens, err := traffic.NewSharded(n.engines, shardOfNode, n.Nodes, n.linkBPC, flows, n.shardIDs, n.shardPool, hooks)
 	if err != nil {
 		return err
 	}
-	n.Gen = gen
+	n.gens = gens
+	n.Gen = gens[0]
 	return nil
 }
 
@@ -274,7 +437,13 @@ func (n *Network) LinkLoads() []LinkLoad {
 // the Generator. The invariant checker is told about it so manual
 // injection stays conservation-clean.
 func (n *Network) NewPacket(src, dst, flow int) *pkt.Packet {
-	p := n.pool.NewData(&n.ids, src, dst, flow, pkt.MTU, n.Eng.Now())
+	// Chaos tests mint packets with out-of-range sources on purpose;
+	// those (and serial runs) draw from shard 0.
+	s := 0
+	if n.part != nil && src >= 0 && src < n.Topo.NumEndpoints() {
+		s = n.shardOfDevice(n.Topo.EndpointDevice(src))
+	}
+	p := n.shardPool[s].NewData(n.shardIDs[s], src, dst, flow, pkt.MTU, n.Eng.Now())
 	if n.Checker != nil {
 		n.Checker.ExternalInjected(p)
 	}
@@ -282,10 +451,23 @@ func (n *Network) NewPacket(src, dst, flow int) *pkt.Packet {
 }
 
 // Run advances the simulation by d cycles.
-func (n *Network) Run(d sim.Cycle) { n.Eng.RunFor(d) }
+func (n *Network) Run(d sim.Cycle) {
+	if n.par == nil {
+		n.Eng.RunFor(d)
+		return
+	}
+	n.par.RunFor(d)
+	// The shard collectors are cumulative, so the merged view is rebuilt
+	// from scratch after every advance.
+	merged := metrics.New(n.Collector.BinCycles(), n.Topo.NumEndpoints(), n.minBPC)
+	for _, c := range n.shardCols {
+		merged.Merge(c)
+	}
+	n.Collector = merged
+}
 
 // RunMS advances the simulation by ms milliseconds of simulated time.
-func (n *Network) RunMS(ms float64) { n.Eng.RunFor(sim.CyclesFromMS(ms)) }
+func (n *Network) RunMS(ms float64) { n.Run(sim.CyclesFromMS(ms)) }
 
 // EndpointBPC returns endpoint e's injection-link bandwidth.
 func (n *Network) EndpointBPC(e int) int { return n.linkBPC[e] }

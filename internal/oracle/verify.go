@@ -23,6 +23,12 @@ type VerifyOptions struct {
 	FuzzIters int
 	// Workers bounds every worker pool (<=0: one per core).
 	Workers int
+	// SimWorkers runs the engine side of every differential pair under
+	// the partitioned engine with that many shard workers (<=1 =
+	// serial). Results are byte-identical either way, so the gates'
+	// verdicts cannot depend on it — running quick mode with SimWorkers
+	// > 1 verifies exactly that.
+	SimWorkers int
 	// ReproDir receives shrunk fuzz failures (empty = don't persist).
 	ReproDir string
 	// Log, when non-nil, receives progress lines.
@@ -112,7 +118,7 @@ func Verify(ctx context.Context, opt VerifyOptions) (*VerifyReport, error) {
 				if err != nil {
 					return nil, err
 				}
-				dr, err := RunDiff(sc, scheme, p, opt.Seed, DefaultBand())
+				dr, err := RunDiff(sc, scheme, p, opt.Seed, opt.SimWorkers, DefaultBand())
 				if err != nil {
 					return nil, err
 				}

@@ -141,7 +141,7 @@ func FromSpec(s experiments.Spec) ([]Job, error) {
 	jobs := make([]Job, 0, len(cells))
 	for _, c := range cells {
 		e := c.Exp
-		jobs = append(jobs, Job{ExpID: e.ID, Scheme: c.Scheme, Seed: c.Seed, Params: c.Params, Exp: &e})
+		jobs = append(jobs, Job{ExpID: e.ID, Scheme: c.Scheme, Seed: c.Seed, Params: c.Params, Exp: &e, SimWorkers: c.SimWorkers})
 	}
 	return jobs, nil
 }

@@ -31,6 +31,7 @@ package runner
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"strings"
 	"sync"
@@ -72,6 +73,12 @@ type Job struct {
 	// window for this job: 0 keeps the default, <0 disables, >0 sets
 	// the window in cycles.
 	Watchdog sim.Cycle
+	// SimWorkers asks for the partitioned cycle engine (0 or 1 =
+	// serial). Partitioned runs are byte-identical to serial ones, so
+	// the value is outcome-neutral and deliberately NOT part of the
+	// cache key. Run caps it per job when the campaign pool would
+	// oversubscribe the machine (see EffectiveSimWorkers).
+	SimWorkers int
 }
 
 // String labels a job for telemetry and error messages.
@@ -193,13 +200,14 @@ type Event struct {
 
 // resolved is a job after fail-fast validation.
 type resolved struct {
-	exp      experiments.Experiment
-	params   core.Params
-	scheme   string
-	seed     int64
-	key      string
-	faults   *fault.Script
-	watchdog sim.Cycle
+	exp        experiments.Experiment
+	params     core.Params
+	scheme     string
+	seed       int64
+	key        string
+	faults     *fault.Script
+	watchdog   sim.Cycle
+	simWorkers int
 }
 
 // resolve validates one job: the experiment must exist and be
@@ -245,6 +253,10 @@ func resolve(j Job) (resolved, error) {
 		out.faults = j.Faults
 	}
 	out.watchdog = j.Watchdog
+	if j.SimWorkers < 0 {
+		return out, fmt.Errorf("sim workers must be >= 0, got %d", j.SimWorkers)
+	}
+	out.simWorkers = j.SimWorkers
 	return out, nil
 }
 
@@ -263,6 +275,19 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error) {
 	if len(invalid) > 0 {
 		return nil, fmt.Errorf("runner: %d invalid job(s):\n  %s\nvalid experiment ids: %s",
 			len(invalid), strings.Join(invalid, "\n  "), strings.Join(experiments.ValidIDs(), " "))
+	}
+
+	// Oversubscription guard: the pool already saturates the machine at
+	// one goroutine per worker, so per-job engine workers beyond
+	// GOMAXPROCS/pool only add scheduling churn. Jobs are capped on a
+	// copy — results are byte-identical at any worker count, so this
+	// changes nothing but wall-clock behavior.
+	pool := opt.Workers
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	if capped := CapSimWorkers(jobs, pool, runtime.GOMAXPROCS(0)); capped != nil {
+		jobs = capped
 	}
 
 	var (
@@ -356,7 +381,8 @@ func execute(r resolved) (res *experiments.Result, err error) {
 			err = fmt.Errorf("runner: job panicked: %v\n%s", p, debug.Stack())
 		}
 	}()
-	n, err := r.exp.Build(r.params, r.seed, r.exp.Bin, r.exp.Duration)
+	n, err := r.exp.Build(r.params, r.seed, r.exp.Bin, r.exp.Duration,
+		experiments.BuildOpts{SimWorkers: r.simWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -377,6 +403,51 @@ func execute(r resolved) (res *experiments.Result, err error) {
 		}
 	}
 	return experiments.Harvest(r.exp, r.scheme, r.seed, n), nil
+}
+
+// EffectiveSimWorkers caps one job's partitioned-engine worker count
+// so a campaign cannot oversubscribe the machine: campaignWorkers jobs
+// run concurrently, each ticking simWorkers goroutines, and the product
+// is held to maxProcs. It returns the count to use and whether it was
+// capped. Capping never changes results — partitioned runs are
+// byte-identical at any worker count.
+func EffectiveSimWorkers(campaignWorkers, simWorkers, maxProcs int) (int, bool) {
+	if simWorkers <= 1 {
+		return simWorkers, false
+	}
+	if campaignWorkers < 1 {
+		campaignWorkers = 1
+	}
+	if maxProcs < 1 {
+		maxProcs = 1
+	}
+	if campaignWorkers*simWorkers <= maxProcs {
+		return simWorkers, false
+	}
+	eff := maxProcs / campaignWorkers
+	if eff < 1 {
+		eff = 1
+	}
+	return eff, true
+}
+
+// CapSimWorkers applies EffectiveSimWorkers across a job list, returning
+// a capped copy — or nil when no job needed capping (callers keep the
+// original slice untouched either way).
+func CapSimWorkers(jobs []Job, campaignWorkers, maxProcs int) []Job {
+	var out []Job
+	for i, j := range jobs {
+		eff, capped := EffectiveSimWorkers(campaignWorkers, j.SimWorkers, maxProcs)
+		if !capped {
+			continue
+		}
+		if out == nil {
+			out = make([]Job, len(jobs))
+			copy(out, jobs)
+		}
+		out[i].SimWorkers = eff
+	}
+	return out
 }
 
 // Grid expands experiments × schemes × seeds into a job list in

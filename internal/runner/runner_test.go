@@ -125,7 +125,7 @@ func TestRunFailsFastOnInvalidJobs(t *testing.T) {
 }
 
 // syntheticExp wraps a Build function as a runnable experiment.
-func syntheticExp(id string, build func(core.Params, int64, sim.Cycle, sim.Cycle) (*network.Network, error)) *experiments.Experiment {
+func syntheticExp(id string, build func(core.Params, int64, sim.Cycle, sim.Cycle, experiments.BuildOpts) (*network.Network, error)) *experiments.Experiment {
 	return &experiments.Experiment{
 		ID:       id,
 		Kind:     experiments.Throughput,
@@ -136,7 +136,7 @@ func syntheticExp(id string, build func(core.Params, int64, sim.Cycle, sim.Cycle
 }
 
 func TestPanicBecomesJobFailure(t *testing.T) {
-	boom := syntheticExp("xpanic", func(core.Params, int64, sim.Cycle, sim.Cycle) (*network.Network, error) {
+	boom := syntheticExp("xpanic", func(core.Params, int64, sim.Cycle, sim.Cycle, experiments.BuildOpts) (*network.Network, error) {
 		panic("synthetic crash")
 	})
 	good, err := experiments.ByID("fig7a")
@@ -162,7 +162,7 @@ func TestPanicBecomesJobFailure(t *testing.T) {
 }
 
 func TestJobTimeout(t *testing.T) {
-	slow := syntheticExp("xslow", func(core.Params, int64, sim.Cycle, sim.Cycle) (*network.Network, error) {
+	slow := syntheticExp("xslow", func(core.Params, int64, sim.Cycle, sim.Cycle, experiments.BuildOpts) (*network.Network, error) {
 		time.Sleep(300 * time.Millisecond)
 		return nil, errors.New("too late to matter")
 	})
@@ -427,7 +427,7 @@ func TestCorruptCacheEntryRecovers(t *testing.T) {
 // succeeds is healed by Retries without poisoning the campaign.
 func TestRetryTransientFailure(t *testing.T) {
 	var calls atomic.Int32
-	flaky := syntheticExp("xflaky", func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
+	flaky := syntheticExp("xflaky", func(p core.Params, seed int64, bin, end sim.Cycle, _ experiments.BuildOpts) (*network.Network, error) {
 		if calls.Add(1) < 3 {
 			panic("synthetic transient crash")
 		}
@@ -465,7 +465,7 @@ func TestRetryTransientFailure(t *testing.T) {
 // the job is quarantined on the first attempt — never retried — with
 // the diagnostic snapshot attached and a "quarantined" manifest row.
 func TestQuarantineOnInvariantViolation(t *testing.T) {
-	wedged := syntheticExp("xwedged", func(p core.Params, seed int64, bin, end sim.Cycle) (*network.Network, error) {
+	wedged := syntheticExp("xwedged", func(p core.Params, seed int64, bin, end sim.Cycle, _ experiments.BuildOpts) (*network.Network, error) {
 		n, err := network.Build(topo.Config1(), p, network.Options{Seed: seed, BinCycles: bin})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,120 @@
+// Parallel drives a group of shard engines in lockstep windows from
+// worker goroutines. This file is the one vetted exception to the
+// "no goroutines in simulation packages" determinism rule, justified
+// as follows:
+//
+//   - Worker goroutines only ever run disjoint engines: shard state is
+//     owned by exactly one worker for the duration of a window, and the
+//     only cross-shard channel is the Mailbox, written during a window
+//     by its owning side and drained between windows by the single
+//     barrier goroutine.
+//   - The barrier is a full synchronization point (WaitGroup + channel
+//     handshake), so every window boundary has a total happens-before
+//     order: worker writes < barrier reads/drains < next window reads.
+//   - Outcome determinism does not depend on goroutine scheduling: each
+//     engine executes exactly the cycles [T, T+W) regardless of when
+//     its worker is scheduled, and mailbox drains run on one goroutine
+//     in a caller-fixed order, so every engine's (at, seq) event order
+//     is a pure function of the simulation state.
+//
+//lint:file-ignore determinism engine-owned shard coordinator: workers own disjoint engines, all cross-shard traffic flows through mailboxes drained single-threaded at barriers, and window boundaries are full happens-before edges — outcomes are scheduler-independent by construction (see DESIGN.md §9)
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Parallel advances a group of shard engines in lockstep windows of a
+// fixed width, separated by a deterministic barrier. The window width
+// must not exceed the conservative lookahead of the partition (the
+// minimum propagation delay over cut links): within one window no
+// shard can be affected by another's events, so the shards may tick
+// concurrently.
+type Parallel struct {
+	engines []*Engine
+	window  Cycle
+	// barrier runs single-threaded after every window with all workers
+	// parked; the network installs mailbox draining plus the periodic
+	// invariant audit.
+	barrier func(now Cycle)
+}
+
+// NewParallel builds a coordinator over engines with the given window
+// width. All engines must share the same current cycle. barrier may be
+// nil.
+func NewParallel(engines []*Engine, window Cycle, barrier func(now Cycle)) *Parallel {
+	if len(engines) == 0 {
+		panic("sim: parallel needs at least one engine")
+	}
+	if window < 1 {
+		panic(fmt.Sprintf("sim: window %d, need >= 1", window))
+	}
+	now := engines[0].Now()
+	for _, e := range engines[1:] {
+		if e.Now() != now {
+			panic(fmt.Sprintf("sim: engines out of step (%d vs %d)", e.Now(), now))
+		}
+	}
+	return &Parallel{engines: engines, window: window, barrier: barrier}
+}
+
+// Window returns the lockstep window width in cycles.
+func (p *Parallel) Window() Cycle { return p.window }
+
+// Engines returns the coordinated shard engines.
+func (p *Parallel) Engines() []*Engine { return p.engines }
+
+// Now returns the common current cycle.
+func (p *Parallel) Now() Cycle { return p.engines[0].Now() }
+
+// RunFor advances every shard by d cycles.
+func (p *Parallel) RunFor(d Cycle) { p.Run(p.Now() + d) }
+
+// Run advances every shard until (and excluding) cycle until, in
+// windows of Window() cycles with a barrier after each. Workers are
+// spawned per call and torn down before returning, so no goroutine
+// outlives the run.
+func (p *Parallel) Run(until Cycle) {
+	now := p.Now()
+	if until <= now {
+		return
+	}
+	var step sync.WaitGroup // one window's in-flight shard advances
+	var exit sync.WaitGroup // worker teardown
+	targets := make([]chan Cycle, len(p.engines))
+	for i := range p.engines {
+		targets[i] = make(chan Cycle, 1)
+		exit.Add(1)
+		go func(e *Engine, ch chan Cycle) {
+			defer exit.Done()
+			// Pin the worker so a shard's cache-hot engine state is not
+			// migrated mid-window.
+			runtime.LockOSThread()
+			for t := range ch {
+				e.Run(t)
+				step.Done()
+			}
+		}(p.engines[i], targets[i])
+	}
+	for now < until {
+		target := now + p.window
+		if target > until {
+			target = until
+		}
+		step.Add(len(p.engines))
+		for _, ch := range targets {
+			ch <- target
+		}
+		step.Wait()
+		if p.barrier != nil {
+			p.barrier(target)
+		}
+		now = target
+	}
+	for _, ch := range targets {
+		close(ch)
+	}
+	exit.Wait()
+}

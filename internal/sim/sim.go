@@ -196,11 +196,36 @@ type Engine struct {
 	awake  int // total awake tickers across all phases
 	seed   int64
 	rngSeq int64
+	// rngShared, when non-nil, replaces rngSeq as the stream-derivation
+	// counter. Engines created by NewEngineGroup share one counter so
+	// that components built in a fixed global order draw exactly the
+	// streams a single serial engine would have handed out, no matter
+	// which shard engine each component is built on. The counter is only
+	// touched at build time (RNG is a construction-time API), so sharing
+	// it needs no synchronization.
+	rngShared *int64
 }
 
 // NewEngine returns an engine whose random streams derive from seed.
 func NewEngine(seed int64) *Engine {
 	return &Engine{seed: seed}
+}
+
+// NewEngineGroup returns n engines with the same seed sharing a single
+// RNG-derivation counter: interleaving RNG() calls across the group in
+// some global order yields exactly the stream sequence one engine would
+// produce under the same order of calls. Partitioned builds use this to
+// keep per-component random streams byte-identical to the serial build.
+func NewEngineGroup(seed int64, n int) []*Engine {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: engine group size %d", n))
+	}
+	shared := new(int64)
+	engines := make([]*Engine, n)
+	for i := range engines {
+		engines[i] = &Engine{seed: seed, rngShared: shared}
+	}
+	return engines
 }
 
 // Now returns the current cycle.
@@ -213,8 +238,12 @@ func (e *Engine) Seed() int64 { return e.seed }
 // seed. Each component should take its own stream at build time so that
 // adding a component does not perturb the draws seen by others.
 func (e *Engine) RNG() *rand.Rand {
-	e.rngSeq++
-	return rand.New(rand.NewSource(e.seed*1_000_003 + e.rngSeq))
+	seq := &e.rngSeq
+	if e.rngShared != nil {
+		seq = e.rngShared
+	}
+	*seq++
+	return rand.New(rand.NewSource(e.seed*1_000_003 + *seq))
 }
 
 // At schedules fn to run at cycle c (before the phases of that cycle).

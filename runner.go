@@ -58,6 +58,17 @@ func NewRunProgress(w io.Writer) func(RunEvent) {
 	return runner.NewProgress(w)
 }
 
+// EffectiveSimWorkers caps one job's partitioned-engine worker count so
+// a campaign of campaignWorkers concurrent jobs cannot oversubscribe a
+// machine with maxProcs cores; it returns the count to use and whether
+// it was capped. RunJobs applies the same cap itself — CLIs call this
+// to log the adjustment instead of capping silently. Capping never
+// changes results: partitioned runs are byte-identical at any worker
+// count.
+func EffectiveSimWorkers(campaignWorkers, simWorkers, maxProcs int) (int, bool) {
+	return runner.EffectiveSimWorkers(campaignWorkers, simWorkers, maxProcs)
+}
+
 // FailedJobs filters a campaign's failures (nil when everything ran).
 func FailedJobs(results []JobResult) []JobResult {
 	return runner.Failed(results)
