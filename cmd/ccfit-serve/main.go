@@ -13,7 +13,11 @@
 //	ccfit-run -server http://127.0.0.1:8080 fig7a   # submit remotely
 //
 // API: POST /campaigns, GET /campaigns[/{id}[/results|/events]],
-// DELETE /campaigns/{id}, GET /metrics, GET /healthz.
+// DELETE /campaigns/{id}, GET /metrics, GET /healthz. Remote workers
+// (ccfit-worker) attach through POST /dispatch/* under lease-based
+// claims (-lease-ttl, -max-reassign); the connected fleet is visible
+// at GET /workers, and with no workers attached jobs simply run in the
+// local pool.
 //
 // On SIGINT/SIGTERM the server drains gracefully: in-flight jobs
 // finish and are journaled, queued jobs stay journaled for the next
@@ -35,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/dispatch"
 	"repro/internal/runner"
 )
 
@@ -48,6 +53,8 @@ func main() {
 	retryBackoff := flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before the first retry (doubles per attempt)")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this size (0 = unbounded)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for open HTTP connections")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "remote worker lease TTL (a job whose worker stops heartbeating this long is reclaimed and requeued)")
+	maxReassign := flag.Int("max-reassign", 3, "give up on a job after this many lease reclaims (bounds crash-requeue loops)")
 	flag.Parse()
 
 	if *cacheDir == "" {
@@ -73,6 +80,14 @@ func main() {
 	}
 	gc("startup")
 
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ccfit-serve: "+format+"\n", args...)
+	}
+	board := dispatch.NewBoard(dispatch.Options{
+		LeaseTTL:    *leaseTTL,
+		MaxReassign: *maxReassign,
+		Log:         logf,
+	})
 	sched, err := campaign.Open(campaign.Options{
 		Dir:          filepath.Join(*dataDir, "journal"),
 		Cache:        cache,
@@ -80,9 +95,8 @@ func main() {
 		Timeout:      *timeout,
 		Retries:      *retries,
 		RetryBackoff: *retryBackoff,
-		Log: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "ccfit-serve: "+format+"\n", args...)
-		},
+		Dispatch:     board,
+		Log:          logf,
 	})
 	if err != nil {
 		fatal(err)
@@ -145,6 +159,9 @@ func main() {
 	if err := sched.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "ccfit-serve: scheduler close: %v\n", err)
 	}
+	// After the scheduler: in-flight remote jobs have delivered (or been
+	// withdrawn) by now, so closing the board strands nothing.
+	board.Close()
 	gc("shutdown")
 	fmt.Fprintln(os.Stderr, "ccfit-serve: drained")
 }

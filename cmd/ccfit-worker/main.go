@@ -1,0 +1,105 @@
+// Command ccfit-worker is the remote execution agent for ccfit-serve:
+// it registers with a running service, pulls simulation jobs under
+// lease-based claims, executes them with the full local-runner
+// semantics (its own result cache, timeout, panic containment, retries,
+// quarantine) and reports content-addressed results back, heartbeating
+// while it works so the service knows the job is alive.
+//
+// Usage:
+//
+//	ccfit-worker -server http://127.0.0.1:8080
+//	ccfit-worker -server http://build-host:9000 -name rack7 -jobs 4
+//
+// Fault tolerance is the service's job: if this process is killed, its
+// heartbeats stop, the lease expires and the service requeues the job
+// on another worker (or runs it locally). On SIGINT/SIGTERM the worker
+// drains gracefully instead — in-flight jobs are reported abandoned so
+// the service requeues them immediately rather than waiting out the
+// lease TTL.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/runner"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8080", "ccfit-serve base URL")
+	name := flag.String("name", hostname(), "worker label shown in the service's /workers and journal")
+	cacheDir := flag.String("cache", ".ccfit-worker-cache", "worker-local result cache directory ('' disables)")
+	jobs := flag.Int("jobs", 1, "jobs to run concurrently (each may itself use -sim-workers from the spec)")
+	timeout := flag.Duration("timeout", 0, "per-job wall-clock timeout (0 = none)")
+	retries := flag.Int("retries", 0, "retry transient job failures up to N times")
+	retryBackoff := flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before the first retry (doubles per attempt)")
+	pollMax := flag.Duration("poll-max", 2*time.Second, "idle claim-poll backoff cap")
+	flag.Parse()
+
+	var cache *runner.Cache
+	if *cacheDir != "" {
+		c, err := runner.OpenCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		cache = c
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ccfit-worker: "+format+"\n", args...)
+	}
+
+	w := &dispatch.Worker{
+		Client: &dispatch.Client{Base: *server},
+		Opt: dispatch.WorkerOptions{
+			Name:  *name,
+			Slots: *jobs,
+			Exec: &runner.LocalExecutor{
+				Cache:        cache,
+				Timeout:      *timeout,
+				Retries:      *retries,
+				RetryBackoff: *retryBackoff,
+			},
+			PollMax: *pollMax,
+			Log:     logf,
+		},
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// The line below is the startup handshake scripts parse; keep its
+	// shape stable.
+	fmt.Printf("ccfit-worker: %s polling %s (%d slot(s), GOMAXPROCS=%d)\n",
+		*name, *server, max(*jobs, 1), runtime.GOMAXPROCS(0))
+
+	err := w.Run(ctx)
+	stop() // a second signal now kills the process immediately
+	if cache != nil {
+		if ferr := cache.FlushIndex(); ferr != nil {
+			logf("cache index flush: %v", ferr)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "ccfit-worker: drained")
+}
+
+func hostname() string {
+	h, err := os.Hostname()
+	if err != nil || h == "" {
+		return "worker"
+	}
+	return h
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccfit-worker:", err)
+	os.Exit(1)
+}

@@ -150,7 +150,7 @@ type View struct {
 // status.
 type Event struct {
 	Campaign  string  `json:"campaign"`
-	Type      string  `json:"type"` // snapshot|start|done|cached|failed|retry|cache-corrupt|cancelled|complete
+	Type      string  `json:"type"` // snapshot|start|done|cached|failed|retry|cache-corrupt|cancelled|complete|lease|lease-expired|requeued
 	Index     int     `json:"index,omitempty"`
 	Job       string  `json:"job,omitempty"`
 	Status    Status  `json:"status,omitempty"` // snapshot and complete
@@ -158,6 +158,8 @@ type Event struct {
 	Total     int     `json:"total"`
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
 	Error     string  `json:"error,omitempty"`
+	// Worker names the remote worker in lease-lifecycle events.
+	Worker string `json:"worker,omitempty"`
 }
 
 // ErrNotFound is returned for unknown campaign ids.

@@ -27,7 +27,7 @@ import (
 
 // record is one journal line.
 type record struct {
-	T string `json:"t"` // "submit" | "job" | "cancel"
+	T string `json:"t"` // "submit" | "job" | "cancel" | "lease"
 	// submit fields
 	At  time.Time   `json:"at,omitempty"`
 	ID  string      `json:"id,omitempty"`
@@ -39,6 +39,13 @@ type record struct {
 	ElapsedMS float64   `json:"ms,omitempty"`
 	Attempts  int       `json:"n,omitempty"`
 	Error     string    `json:"err,omitempty"`
+	// lease fields: which remote worker held job Index and what became
+	// of the lease ("granted" | "expired" | "reclaimed"). Pure audit
+	// trail — replay ignores lease records (the job's terminal state is
+	// what matters), but they prove after the fact that a crashed
+	// worker's job was reclaimed, not lost.
+	W  string `json:"w,omitempty"`
+	LS string `json:"ls,omitempty"`
 }
 
 // journal is an open per-campaign journal file.

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dispatch"
 	"repro/internal/experiments"
 	"repro/internal/runner"
 )
@@ -32,6 +33,11 @@ type Options struct {
 	RetryBackoff time.Duration
 	// Executor overrides job execution (tests, remote backends).
 	Executor runner.Executor
+	// Dispatch, when non-nil, is the remote worker fleet's lease board:
+	// jobs are offered to connected ccfit-worker processes and fall
+	// back to local execution when none are live. Ignored when Executor
+	// is set (an explicit executor owns the whole policy).
+	Dispatch *dispatch.Board
 	// Metrics receives counters; nil allocates a fresh set.
 	Metrics *Metrics
 	// Log, when non-nil, receives operational notices (e.g. a
@@ -102,11 +108,16 @@ func Open(opt Options) (*Scheduler, error) {
 	}
 	exec := opt.Executor
 	if exec == nil {
-		exec = &runner.LocalExecutor{
+		local := &runner.LocalExecutor{
 			Cache:        opt.Cache,
 			Timeout:      opt.Timeout,
 			Retries:      opt.Retries,
 			RetryBackoff: opt.RetryBackoff,
+		}
+		if opt.Dispatch != nil {
+			exec = &dispatch.RemoteExecutor{Board: opt.Dispatch, Local: local, Log: opt.Log}
+		} else {
+			exec = local
 		}
 	}
 	m := opt.Metrics
@@ -136,6 +147,10 @@ func Open(opt Options) (*Scheduler, error) {
 
 // Metrics returns the scheduler's counters.
 func (s *Scheduler) Metrics() *Metrics { return s.metrics }
+
+// Board returns the remote dispatch board, nil when the scheduler runs
+// purely locally.
+func (s *Scheduler) Board() *dispatch.Board { return s.opt.Dispatch }
 
 // QueueDepth returns the number of queued (not yet running) jobs.
 func (s *Scheduler) QueueDepth() int {
@@ -385,20 +400,36 @@ func (s *Scheduler) worker() {
 
 // forward relays mid-job executor telemetry to subscribers (terminal
 // events are emitted by finish, with campaign counters attached).
+// Lease-lifecycle events from the remote dispatcher are additionally
+// journaled: they are the audit trail that proves a reclaimed job was
+// requeued rather than lost, and they survive a service restart.
 func (s *Scheduler) forward(c *campaign, index int, ev runner.Event) {
-	var typ string
+	var typ, leaseState string
 	switch ev.Type {
 	case runner.JobRetry:
 		s.metrics.JobsRetried.Add(1)
 		typ = "retry"
 	case runner.JobCacheCorrupt:
 		typ = "cache-corrupt"
+	case runner.JobLeased:
+		typ, leaseState = "lease", "granted"
+	case runner.JobLeaseExpired:
+		typ, leaseState = "lease-expired", "expired"
+	case runner.JobReassigned:
+		typ, leaseState = "requeued", "reclaimed"
 	default:
 		return // start is emitted at dispatch, terminal events by finish
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e := Event{Type: typ, Index: index, Job: c.jobs[index].String()}
+	if leaseState != "" && c.jl != nil {
+		if err := c.jl.append(record{
+			T: "lease", Index: index, W: ev.Worker, LS: leaseState,
+		}, false); err != nil {
+			s.metrics.JournalErrors.Add(1)
+		}
+	}
+	e := Event{Type: typ, Index: index, Job: c.jobs[index].String(), Worker: ev.Worker}
 	if ev.Err != nil {
 		e.Error = ev.Err.Error()
 	}

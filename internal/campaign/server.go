@@ -36,8 +36,20 @@ type RemoteResult struct {
 //	DELETE /campaigns/{id}       cancel
 //	GET    /metrics              counters (JSON)
 //	GET    /healthz              liveness
+//
+// When the scheduler carries a dispatch board, the worker protocol and
+// fleet view mount alongside:
+//
+//	POST   /dispatch/{register,claim,heartbeat,result}  worker protocol
+//	GET    /workers              connected worker fleet (JSON)
 func NewServer(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
+	if b := s.Board(); b != nil {
+		mux.Handle("POST /dispatch/", b.Handler())
+		mux.HandleFunc("GET /workers", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, b.Workers())
+		})
+	}
 	mux.HandleFunc("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
 		var sub Submission
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
@@ -172,7 +184,15 @@ func NewServer(s *Scheduler) http.Handler {
 		}
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Metrics().Snapshot(s.QueueDepth()))
+		snap := s.Metrics().Snapshot(s.QueueDepth())
+		if b := s.Board(); b != nil {
+			// Board counters merge under the same flat namespace; the
+			// two sets share no keys by construction.
+			for k, v := range b.Snapshot() {
+				snap[k] = v
+			}
+		}
+		writeJSON(w, http.StatusOK, snap)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

@@ -69,6 +69,13 @@ type Cell struct {
 	Params *core.Params
 	// SimWorkers is the spec's requested engine worker count.
 	SimWorkers int
+	// Source is a one-cell spec that re-expands to exactly this cell.
+	// It is what makes a cell serializable — an Experiment carries a
+	// Build closure that cannot cross a process boundary, but the spec
+	// that produced it can, and expansion is deterministic, so a remote
+	// worker expanding Source recovers the identical cell (and hence
+	// the identical cache key).
+	Source Spec
 }
 
 // SeedList returns the seeds a spec covers.
@@ -142,7 +149,18 @@ func (s Spec) Expand() ([]Cell, error) {
 		}
 		for _, scheme := range schemes {
 			for _, seed := range seeds {
-				cells = append(cells, Cell{Exp: e, Scheme: scheme, Seed: seed, Params: s.Params, SimWorkers: s.SimWorkers})
+				cells = append(cells, Cell{
+					Exp: e, Scheme: scheme, Seed: seed, Params: s.Params, SimWorkers: s.SimWorkers,
+					Source: Spec{
+						Experiments: []string{e.ID},
+						Schemes:     []string{scheme},
+						Seed:        seed,
+						Seeds:       1,
+						MS:          s.MS,
+						Params:      s.Params,
+						SimWorkers:  s.SimWorkers,
+					},
+				})
 			}
 		}
 	}
@@ -177,7 +195,17 @@ func (s Spec) expandLoadCurve(seeds []int64) ([]Cell, error) {
 				return nil, err
 			}
 			for _, seed := range seeds {
-				cells = append(cells, Cell{Exp: e, Scheme: scheme, Seed: seed, Params: s.Params, SimWorkers: s.SimWorkers})
+				cells = append(cells, Cell{
+					Exp: e, Scheme: scheme, Seed: seed, Params: s.Params, SimWorkers: s.SimWorkers,
+					Source: Spec{
+						Schemes:    []string{scheme},
+						Seed:       seed,
+						Seeds:      1,
+						Params:     s.Params,
+						SimWorkers: s.SimWorkers,
+						LoadCurve:  &LoadCurveSpec{Config: lc.Config, Loads: []float64{load}, MS: lc.MS},
+					},
+				})
 			}
 		}
 	}

@@ -54,6 +54,7 @@ var simScope = map[string]string{
 // determinism family. The value documents why the exemption is sound.
 var serviceScope = map[string]string{
 	"campaign": "campaign service: HTTP serving, journals, worker pool — never inside a simulated cycle",
+	"dispatch": "remote worker fleet: HTTP leases, heartbeats, wall-clock TTLs — never inside a simulated cycle",
 	"lint":     "this tool",
 	"prof":     "pprof plumbing, never inside a simulated cycle",
 	"runner":   "parallel campaign orchestration: goroutines + wall-clock by design",

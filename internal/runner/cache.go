@@ -157,6 +157,14 @@ var (
 // when built from a checkout, "devel" otherwise (a dev tree cannot
 // distinguish its own edits; schemaVersion covers deliberate breaks).
 func moduleVersion() string {
+	return ModuleVersion()
+}
+
+// ModuleVersion exposes the build identity (it is part of every cache
+// key) so remote workers can announce theirs at registration — a mixed
+// fleet shows up in the service log before the key-mismatch guard
+// rejects its results.
+func ModuleVersion() string {
 	modOnce.Do(func() {
 		modVer = "devel"
 		info, ok := debug.ReadBuildInfo()

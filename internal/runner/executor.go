@@ -101,9 +101,8 @@ func (e *LocalExecutor) run(ctx context.Context, job Job, r resolved, emit func(
 		}
 		emit(Event{Type: JobRetry, Job: job, Err: err})
 		if e.RetryBackoff > 0 {
-			backoff := e.RetryBackoff << (attempts - 1)
 			select {
-			case <-time.After(backoff):
+			case <-time.After(Backoff(e.RetryBackoff, attempts, MaxRetryBackoff)):
 			case <-ctx.Done():
 			}
 		}
@@ -119,13 +118,43 @@ func (e *LocalExecutor) run(ctx context.Context, job Job, r resolved, emit func(
 		return jr
 	}
 	if e.Cache != nil {
-		// A failed store only costs the next run a recompute.
+		// A failed store only costs the next run a recompute: the job
+		// itself succeeded, so the result stays usable and the store
+		// failure is reported on its own channel instead of masquerading
+		// as a failed simulation.
 		if perr := e.Cache.Put(r.key, res); perr != nil {
-			jr.Err = fmt.Errorf("runner: %s ran but caching failed: %w", job, perr)
+			jr.CacheErr = fmt.Errorf("runner: %s ran but caching failed: %w", job, perr)
 		}
 	}
 	emit(Event{Type: JobDone, Job: job, JobElapsed: jr.Elapsed})
 	return jr
+}
+
+// MaxRetryBackoff caps the exponential retry doubling: beyond it every
+// further attempt waits the same bounded pause instead of shifting the
+// base into overflow (a 100 ms base left-shifted 60 times is garbage).
+const MaxRetryBackoff = 30 * time.Second
+
+// Backoff returns the pause before 1-based retry `attempt`: base
+// doubled per prior attempt, saturating at max (overflow-safe). It is
+// shared by the local executor's retry loop and the remote worker's
+// poll loop — both deliberately jitter-free, so a replayed schedule is
+// deterministic.
+func Backoff(base time.Duration, attempt int, max time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if max > 0 && base >= max {
+		return max
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d <<= 1
+		if d <= 0 || (max > 0 && d >= max) { // overflow or cap
+			return max
+		}
+	}
+	return d
 }
 
 // FromSpec expands a declarative campaign spec into runner jobs, in
@@ -141,7 +170,8 @@ func FromSpec(s experiments.Spec) ([]Job, error) {
 	jobs := make([]Job, 0, len(cells))
 	for _, c := range cells {
 		e := c.Exp
-		jobs = append(jobs, Job{ExpID: e.ID, Scheme: c.Scheme, Seed: c.Seed, Params: c.Params, Exp: &e, SimWorkers: c.SimWorkers})
+		src := c.Source
+		jobs = append(jobs, Job{ExpID: e.ID, Scheme: c.Scheme, Seed: c.Seed, Params: c.Params, Exp: &e, SimWorkers: c.SimWorkers, Source: &src})
 	}
 	return jobs, nil
 }

@@ -27,14 +27,18 @@ type Manifest struct {
 
 // ManifestRun records one job's outcome.
 type ManifestRun struct {
-	Experiment     string  `json:"experiment"`
-	Scheme         string  `json:"scheme"`
-	Seed           int64   `json:"seed"`
-	CacheKey       string  `json:"cache_key,omitempty"`
-	Status         string  `json:"status"` // "ok", "cached", "failed", "cancelled" or "quarantined"
-	ElapsedMS      float64 `json:"elapsed_ms"`
-	Attempts       int     `json:"attempts,omitempty"`
-	Error          string  `json:"error,omitempty"`
+	Experiment string  `json:"experiment"`
+	Scheme     string  `json:"scheme"`
+	Seed       int64   `json:"seed"`
+	CacheKey   string  `json:"cache_key,omitempty"`
+	Status     string  `json:"status"` // "ok", "cached", "failed", "cancelled" or "quarantined"
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	Attempts   int     `json:"attempts,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	// CacheError records a "ran fine but storing the result failed"
+	// outcome: the run's Status stays ok and its result is real, only
+	// the dedup layer missed it.
+	CacheError     string  `json:"cache_error,omitempty"`
 	MeanNormalized float64 `json:"mean_normalized,omitempty"`
 	DeliveredPkts  int64   `json:"delivered_pkts,omitempty"`
 	// Faults labels a job that ran under a fault script.
@@ -74,6 +78,9 @@ func NewManifest(tool string, opt Options, startedAt time.Time, results []JobRes
 		}
 		if r.Job.Faults != nil {
 			run.Faults = r.Job.Faults.Name
+		}
+		if r.CacheErr != nil {
+			run.CacheError = r.CacheErr.Error()
 		}
 		switch {
 		case r.Quarantined:

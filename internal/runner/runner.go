@@ -79,6 +79,13 @@ type Job struct {
 	// cache key. Run caps it per job when the campaign pool would
 	// oversubscribe the machine (see EffectiveSimWorkers).
 	SimWorkers int
+	// Source, when non-nil, is a one-cell spec that re-expands to
+	// exactly this job (set by FromSpec). It is what makes a job
+	// serializable for remote execution: the Exp closure cannot cross a
+	// process boundary, but the spec can, and expansion is
+	// deterministic on both sides. Jobs built by hand (Grid, tests)
+	// leave it nil and can only run locally.
+	Source *experiments.Spec
 }
 
 // String labels a job for telemetry and error messages.
@@ -103,6 +110,12 @@ type JobResult struct {
 	Err     error
 	Cached  bool
 	Elapsed time.Duration
+	// CacheErr reports that the job ran fine but storing its result in
+	// the cache failed — Result is still valid and Err stays nil, the
+	// only cost is that the next identical run recomputes. Kept apart
+	// from Err so downstream failure accounting does not count a full
+	// disk as a failed simulation.
+	CacheErr error
 	// Key is the cache key (empty when caching is disabled).
 	Key string
 	// Attempts counts simulation attempts (1 + retries; 0 for cache
@@ -178,7 +191,24 @@ const (
 	// JobCacheCorrupt fires when a cache entry exists but cannot be
 	// decoded; the entry is removed and the job recomputes.
 	JobCacheCorrupt
+	// JobLeased fires when a remote dispatcher grants a job's lease to
+	// a worker (Worker names it).
+	JobLeased
+	// JobLeaseExpired fires when a leased job's heartbeats stop and the
+	// lease times out (worker crash, network partition).
+	JobLeaseExpired
+	// JobReassigned fires when an expired job is reclaimed and requeued
+	// for another worker.
+	JobReassigned
 )
+
+// Terminal reports whether an event type ends a job (exactly one
+// terminal event is emitted per executed job). Campaign accounting
+// counts these and only these — retries, cache-corruption notices and
+// lease-lifecycle events are mid-flight telemetry.
+func (t EventType) Terminal() bool {
+	return t == JobDone || t == JobCached || t == JobFailed
+}
 
 // Event is one telemetry tick: which job, how far along the campaign
 // is, and — for finished jobs — per-job elapsed time and a campaign
@@ -196,6 +226,9 @@ type Event struct {
 	// remains (0 when unknown).
 	Elapsed, ETA time.Duration
 	Err          error
+	// Worker names the remote worker involved in lease-lifecycle
+	// events (empty for local execution).
+	Worker string
 }
 
 // resolved is a job after fail-fast validation.
@@ -301,16 +334,19 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error) {
 		mu.Lock()
 		defer mu.Unlock()
 		ev.Total = len(jobs)
-		switch ev.Type {
-		case JobStart:
-			ev.Done = done
-		default:
+		switch {
+		case ev.Type.Terminal():
+			// Only terminal events advance the campaign cursor: a retry
+			// or a lease bounce is the same job still in flight, and
+			// counting it would inflate Done past Total.
 			done++
 			ev.Done = done
 			ev.Elapsed = time.Since(campaign)
 			if done > 0 && done < len(jobs) {
 				ev.ETA = time.Duration(float64(ev.Elapsed) / float64(done) * float64(len(jobs)-done))
 			}
+		default:
+			ev.Done = done
 		}
 		if opt.Progress != nil {
 			opt.Progress(ev)

@@ -1,0 +1,131 @@
+#!/bin/sh
+# Distributed smoke test: proves the worker fleet end to end, at the
+# process level, the way a user runs it.
+#
+#   1. ccfit-serve starts with a short lease TTL; two ccfit-worker
+#      processes register over HTTP and show up in GET /workers.
+#   2. A multi-seed fig7a campaign is submitted through `ccfit-run
+#      -server`. Once worker w1 provably holds a lease (its /workers row
+#      lists an active job), it is SIGKILLed — no drain, no abandon
+#      message, exactly the crash the lease protocol exists for.
+#   3. The campaign must still complete, /metrics must show at least one
+#      reclaimed job, and the rendered output must be byte-identical to
+#      a plain local `ccfit-run` — a crashed worker costs latency, never
+#      bytes.
+#   4. The surviving worker is SIGTERMed and must drain gracefully.
+#
+# Everything here goes through the public surfaces only: the HTTP API,
+# the CLI flags, the handshake lines, signals.
+set -e
+
+workdir=$(mktemp -d)
+trap 'kill -9 $serve_pid $w1_pid $w2_pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir" ./cmd/ccfit-serve ./cmd/ccfit-worker ./cmd/ccfit-run
+
+start_server() {
+    : > "$workdir/serve.log"
+    "$workdir/ccfit-serve" -addr "$1" -data "$workdir/state" -workers 4 \
+        -lease-ttl 2s > "$workdir/serve.log" 2>&1 &
+    serve_pid=$!
+    url=""
+    i=0
+    while [ $i -lt 100 ]; do
+        url=$(sed -n 's/^ccfit-serve: listening on //p' "$workdir/serve.log")
+        [ -n "$url" ] && return 0
+        kill -0 "$serve_pid" 2>/dev/null || break
+        sleep 0.2
+        i=$((i + 1))
+    done
+    echo "FAIL: ccfit-serve did not come up"
+    cat "$workdir/serve.log"
+    exit 1
+}
+
+metric() {
+    curl -sf "$url/metrics" | sed -n "s/^ *\"$1\": \([0-9.]*\),*$/\1/p"
+}
+
+# busy reports (exit status) whether the named worker's /workers row
+# currently lists an active job ("active" is omitempty, so its presence
+# means a held lease).
+busy() {
+    curl -sf "$url/workers" | awk -v want="\"$1\"," '
+        $1 == "\"name\":" && $2 == want { inw = 1 }
+        inw && $1 == "\"active\":"      { found = 1 }
+        /^  \}/                         { inw = 0 }
+        END { exit !found }
+    '
+}
+
+start_server 127.0.0.1:0
+
+echo "== two workers register"
+"$workdir/ccfit-worker" -server "$url" -name w1 -cache "$workdir/w1-cache" \
+    > "$workdir/w1.log" 2>&1 &
+w1_pid=$!
+"$workdir/ccfit-worker" -server "$url" -name w2 -cache "$workdir/w2-cache" \
+    > "$workdir/w2.log" 2>&1 &
+w2_pid=$!
+i=0
+while [ $i -lt 100 ]; do
+    n=$(curl -sf "$url/workers" | grep -c '"name":') || n=0
+    [ "$n" -ge 2 ] && break
+    sleep 0.2
+    i=$((i + 1))
+done
+if [ "${n:-0}" -lt 2 ]; then
+    echo "FAIL: fleet never reached 2 registered workers"
+    cat "$workdir/w1.log" "$workdir/w2.log"
+    exit 1
+fi
+
+echo "== submit campaign, SIGKILL w1 mid-job"
+"$workdir/ccfit-run" -server "$url" -seeds 8 fig7a > "$workdir/remote.out" &
+client_pid=$!
+i=0
+while [ $i -lt 300 ]; do
+    if busy w1; then break; fi
+    kill -0 "$client_pid" 2>/dev/null || break
+    sleep 0.1
+    i=$((i + 1))
+done
+if ! busy w1; then
+    echo "FAIL: w1 never held a lease (campaign too fast or fleet idle)"
+    curl -sf "$url/workers" || true
+    exit 1
+fi
+kill -9 "$w1_pid"
+wait "$w1_pid" 2>/dev/null || true
+
+if ! wait "$client_pid"; then
+    echo "FAIL: campaign did not survive the worker crash"
+    cat "$workdir/serve.log"
+    exit 1
+fi
+
+echo "== crash was reclaimed, bytes are identical to a local run"
+reclaimed=$(metric jobs_reclaimed)
+if [ "${reclaimed:-0}" -lt 1 ]; then
+    echo "FAIL: jobs_reclaimed is ${reclaimed:-0}, want >= 1 after a SIGKILL mid-job"
+    curl -sf "$url/metrics" || true
+    exit 1
+fi
+remote_done=$(metric remote_jobs_done)
+if [ "${remote_done:-0}" -lt 1 ]; then
+    echo "FAIL: remote_jobs_done is ${remote_done:-0}; the fleet never ran anything"
+    exit 1
+fi
+"$workdir/ccfit-run" -seeds 8 fig7a > "$workdir/local.out"
+diff "$workdir/local.out" "$workdir/remote.out"
+
+echo "== survivor drains gracefully"
+kill -TERM "$w2_pid"
+wait "$w2_pid" 2>/dev/null || true
+grep -q drained "$workdir/w2.log" || {
+    echo "FAIL: surviving worker did not drain"
+    cat "$workdir/w2.log"
+    exit 1
+}
+
+echo "distributed smoke: OK (reclaimed=$reclaimed remote_done=$remote_done)"
