@@ -65,6 +65,14 @@ type (
 	Topology = topo.Topology
 	// FatTree is a k-ary n-tree with DET-routing metadata.
 	FatTree = topo.FatTree
+	// LeafSpine is a two-level Clos fabric with DET-routing metadata.
+	LeafSpine = topo.LeafSpine
+	// CDF is an empirical flow-size distribution for open-loop traffic.
+	CDF = traffic.CDF
+	// OpenLoop is a CDF-driven Poisson open-loop workload spec.
+	OpenLoop = traffic.OpenLoop
+	// FCTStats summarizes flow completion times by size bucket.
+	FCTStats = metrics.FCTStats
 	// Builder constructs ad-hoc topologies.
 	Builder = topo.Builder
 	// Cycle is simulated time (25.6 ns per cycle).
@@ -113,11 +121,18 @@ func KaryNTree(k, n, bytesPerCycle int, delay Cycle) (*FatTree, error) {
 	return topo.KaryNTree(k, n, bytesPerCycle, delay)
 }
 
-// LeafSpine builds a two-level Clos fabric: `leaves` leaf switches
-// with `down` endpoints each, fully meshed to `spines` spine switches
-// (oversubscription ratio down:spines).
-func LeafSpine(leaves, down, spines, bytesPerCycle int, delay Cycle) (*Topology, error) {
-	return topo.LeafSpine(leaves, down, spines, bytesPerCycle, delay)
+// NewLeafSpine builds a two-level Clos fabric: `leaves` leaf switches
+// with `down` endpoints each, meshed to `spines` spine switches by
+// `trunk` parallel links per pair (oversubscription ratio
+// down : spines*trunk).
+func NewLeafSpine(leaves, down, spines, trunk, bytesPerCycle int, delay Cycle) (*LeafSpine, error) {
+	return topo.NewLeafSpine(leaves, down, spines, trunk, bytesPerCycle, delay)
+}
+
+// BuildLeafSpine wires a leaf-spine network with DET routing installed.
+func BuildLeafSpine(ls *LeafSpine, p Params, opt Options) (*Network, error) {
+	opt.TieBreak = ls.DETTieBreak
+	return network.Build(ls.Topology, p, opt)
 }
 
 // Config1 returns the paper's Configuration #1 (7 nodes, 2 switches).

@@ -285,6 +285,9 @@ func main() {
 		if *summary {
 			ccfit.RenderSummary(os.Stdout, firstSeed)
 		}
+		// FCT tables only exist for finite-flow (datacenter) workloads;
+		// RenderFCT is silent for pure CBR results.
+		ccfit.RenderFCT(os.Stdout, firstSeed)
 		if *csvDir != "" {
 			if err := writeCSV(filepath.Join(*csvDir, exp.ID+".csv"), exp, firstSeed); err != nil {
 				fatal(err)

@@ -198,11 +198,25 @@ func main() {
 	}
 
 	fmt.Printf("ablation: %s on %s (%s), seeds %v, workers %d\n", sw.name, exp.ID, *scheme, seedList, *workers)
-	if *seeds > 1 {
-		fmt.Printf("%-12s %-16s %-10s %-16s\n", sw.name, "mean±sd", "worstBin", "delivered±sd")
-	} else {
-		fmt.Printf("%-12s %-10s %-10s %-10s\n", sw.name, "mean", "worstBin", "delivered")
+	// Datacenter (finite-flow) experiments carry FCT stats; the sweep
+	// table gains slowdown columns only then, so CBR sweeps are
+	// unchanged.
+	hasFCT := false
+	for _, jr := range results {
+		if jr.Err == nil && jr.Result != nil && jr.Result.FCT != nil {
+			hasFCT = true
+			break
+		}
 	}
+	if *seeds > 1 {
+		fmt.Printf("%-12s %-16s %-10s %-16s", sw.name, "mean±sd", "worstBin", "delivered±sd")
+	} else {
+		fmt.Printf("%-12s %-10s %-10s %-10s", sw.name, "mean", "worstBin", "delivered")
+	}
+	if hasFCT {
+		fmt.Printf(" %-12s %-12s", "fctP50", "fctP99")
+	}
+	fmt.Println()
 	cursor := 0
 	exitCode := 0
 	for _, pt := range points {
@@ -246,11 +260,18 @@ func main() {
 		}
 		worst /= float64(len(rs))
 		if *seeds > 1 {
-			fmt.Printf("%-12s %6.3f ±%5.3f   %-10.3f %8.0f ±%6.0f\n",
+			fmt.Printf("%-12s %6.3f ±%5.3f   %-10.3f %8.0f ±%6.0f",
 				pt.label, rep.MeanNormalized, rep.StdNormalized, worst, rep.MeanDelivered, rep.StdDelivered)
+			if hasFCT && rep.HasFCT {
+				fmt.Printf(" %5.2f ±%4.2f %5.2f ±%4.2f", rep.MeanFCTP50, rep.StdFCTP50, rep.MeanFCTP99, rep.StdFCTP99)
+			}
 		} else {
-			fmt.Printf("%-12s %-10.3f %-10.3f %-10.0f\n", pt.label, rep.MeanNormalized, worst, rep.MeanDelivered)
+			fmt.Printf("%-12s %-10.3f %-10.3f %-10.0f", pt.label, rep.MeanNormalized, worst, rep.MeanDelivered)
+			if hasFCT && rep.HasFCT {
+				fmt.Printf(" %-12.2f %-12.2f", rep.MeanFCTP50, rep.MeanFCTP99)
+			}
 		}
+		fmt.Println()
 	}
 	os.Exit(exitCode)
 }

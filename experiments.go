@@ -60,6 +60,12 @@ func RenderSummary(w io.Writer, results []*Result) {
 	experiments.RenderSummary(w, results)
 }
 
+// RenderFCT prints flow-completion-time slowdown tables for results
+// that carry FCT stats (no output for pure CBR runs).
+func RenderFCT(w io.Writer, results []*Result) {
+	experiments.RenderFCT(w, results)
+}
+
 // WriteCSV emits a machine-readable result set.
 func WriteCSV(w io.Writer, exp Experiment, results []*Result) {
 	experiments.WriteCSV(w, exp, results)

@@ -14,7 +14,7 @@ import (
 // They run and render exactly like Registry() entries.
 func Extras() []Experiment {
 	bin := sim.CyclesFromNS(50_000)
-	return []Experiment{
+	list := []Experiment{
 		{
 			ID:    "xqueueing",
 			Title: "Extra: HoL-reduction queue schemes (related work, Section II) under Case #4 (4 trees)",
@@ -84,6 +84,7 @@ func Extras() []Experiment {
 			},
 		},
 	}
+	return append(list, datacenterExtras()...)
 }
 
 // RootFlapScript is the xfaultflap fault scenario: the congestion

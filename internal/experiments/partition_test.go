@@ -23,6 +23,7 @@ var partitionCases = []struct {
 	{"fig7b", 0.25},       // Config #2 (2-ary 3-tree)
 	{"fig8a", 0.1},        // Config #3 (4-ary 3-tree, VOQnet included)
 	{"x512hotspot", 0.05}, // Config #4 (8-ary 3-tree, 512 endpoints)
+	{"xleafincast", 0.5},  // leaf-spine, open-loop CDF traffic + FCT stats
 }
 
 func digestAtWorkers(t *testing.T, expID, scheme string, scale float64, workers int) string {

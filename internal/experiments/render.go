@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/metrics"
 	"repro/internal/pkt"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -107,6 +108,34 @@ func RenderSummary(w io.Writer, results []*Result) {
 		fmt.Fprintf(w, "%-8s %10d %8d %8d %8d %8d %8d %8d %8d %10.0f\n",
 			r.Scheme, s.DeliveredPkts, s.BECNs, s.Marked, s.Detections,
 			s.LazyAllocs, s.CAMExhausted, s.Deallocs, s.MaxCFQsInUse, s.AvgLatencyNS)
+	}
+}
+
+// RenderFCT prints flow-completion-time slowdown tables for every
+// result that carries FCT stats: one sub-table per scheme, one row per
+// flow-size bucket plus the overall line. Results without FCT stats
+// (CBR runs) are skipped; if none have them, nothing is printed.
+func RenderFCT(w io.Writer, results []*Result) {
+	printed := false
+	for _, r := range results {
+		if r.FCT == nil {
+			continue
+		}
+		if !printed {
+			fmt.Fprintln(w, "FCT slowdown vs ideal (completed flows, by size)")
+			printed = true
+		}
+		fmt.Fprintf(w, "-- %s: %d/%d flows completed --\n", r.Scheme, r.FCT.Completed, r.FCT.Registered)
+		fmt.Fprintf(w, "%-8s %9s %9s %9s %9s %9s %12s\n",
+			"bucket", "flows", "mean", "p50", "p99", "max", "meanFCT(ns)")
+		row := func(b metrics.FCTBucket) {
+			fmt.Fprintf(w, "%-8s %9d %9.2f %9.2f %9.2f %9.2f %12.0f\n",
+				b.Label, b.Completed, b.MeanSlowdown, b.P50Slowdown, b.P99Slowdown, b.MaxSlowdown, b.MeanFCTNS)
+		}
+		for _, b := range r.FCT.Buckets {
+			row(b)
+		}
+		row(r.FCT.Overall)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/sim"
 )
@@ -32,6 +33,13 @@ type Summary struct {
 	StopsSent      int
 	// MeanNormalized is the run-average normalized throughput.
 	MeanNormalized float64
+	// FCT accounting (populated only when the run registered finite
+	// flows; omitted from JSON otherwise, so CBR-only results — and
+	// their pinned golden digests — are unchanged by the FCT axis).
+	FCTCompleted   int64   `json:",omitempty"`
+	FCTIncomplete  int64   `json:",omitempty"`
+	FCTSlowdownP50 float64 `json:",omitempty"`
+	FCTSlowdownP99 float64 `json:",omitempty"`
 }
 
 // Result is one (experiment, scheme) run.
@@ -47,7 +55,10 @@ type Result struct {
 	Normalized []float64
 	TotalGBs   []float64
 	// Flows is populated for FlowBandwidth experiments.
-	Flows   []FlowSeries
+	Flows []FlowSeries
+	// FCT carries flow-completion-time stats when the run registered
+	// finite flows (datacenter workloads); nil for pure CBR runs.
+	FCT     *metrics.FCTStats `json:",omitempty"`
 	Summary Summary
 }
 
@@ -136,6 +147,13 @@ func Harvest(exp Experiment, scheme string, seed int64, n *network.Network) *Res
 	}
 	if len(r.Normalized) > 0 {
 		s.MeanNormalized /= float64(len(r.Normalized))
+	}
+	if fct := n.Collector.FCTStats(); fct != nil {
+		r.FCT = fct
+		s.FCTCompleted = fct.Completed
+		s.FCTIncomplete = fct.Incomplete
+		s.FCTSlowdownP50 = finite(fct.Overall.P50Slowdown)
+		s.FCTSlowdownP99 = finite(fct.Overall.P99Slowdown)
 	}
 	return r
 }

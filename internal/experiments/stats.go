@@ -26,6 +26,13 @@ type Replication struct {
 	StdDelivered  float64
 	// SeriesMean is the per-bin mean of the normalized series.
 	SeriesMean []float64
+	// HasFCT marks replications whose runs carry FCT stats; the FCT
+	// fields below summarise overall slowdown percentiles across seeds.
+	HasFCT     bool
+	MeanFCTP50 float64
+	StdFCTP50  float64
+	MeanFCTP99 float64
+	StdFCTP99  float64
 	// Results keeps the raw per-seed results.
 	Results []*Result
 }
@@ -83,6 +90,18 @@ func Aggregate(exp Experiment, scheme string, results []*Result) (*Replication, 
 	}
 	rep.MeanNormalized, rep.StdNormalized = meanStd(norm)
 	rep.MeanDelivered, rep.StdDelivered = meanStd(del)
+	var p50, p99 []float64
+	for _, r := range rep.Results {
+		if r.FCT != nil {
+			p50 = append(p50, r.Summary.FCTSlowdownP50)
+			p99 = append(p99, r.Summary.FCTSlowdownP99)
+		}
+	}
+	if len(p50) > 0 {
+		rep.HasFCT = true
+		rep.MeanFCTP50, rep.StdFCTP50 = meanStd(p50)
+		rep.MeanFCTP99, rep.StdFCTP99 = meanStd(p99)
+	}
 	return rep, nil
 }
 
@@ -111,11 +130,25 @@ func meanStd(xs []float64) (mean, std float64) {
 // RenderReplications prints a replication table: one row per scheme
 // with mean ± stddev across seeds.
 func RenderReplications(w io.Writer, exp Experiment, reps []*Replication) {
-	fmt.Fprintf(w, "%s — %d seeds per scheme\n", exp.Title, seedCount(reps))
-	fmt.Fprintf(w, "%-8s %16s %20s\n", "scheme", "norm (mean±sd)", "delivered (mean±sd)")
+	hasFCT := false
 	for _, r := range reps {
-		fmt.Fprintf(w, "%-8s %8.3f ±%5.3f %12.0f ±%7.0f\n",
+		if r.HasFCT {
+			hasFCT = true
+		}
+	}
+	fmt.Fprintf(w, "%s — %d seeds per scheme\n", exp.Title, seedCount(reps))
+	if hasFCT {
+		fmt.Fprintf(w, "%-8s %16s %20s %16s %16s\n", "scheme", "norm (mean±sd)", "delivered (mean±sd)", "fct p50 (±sd)", "fct p99 (±sd)")
+	} else {
+		fmt.Fprintf(w, "%-8s %16s %20s\n", "scheme", "norm (mean±sd)", "delivered (mean±sd)")
+	}
+	for _, r := range reps {
+		fmt.Fprintf(w, "%-8s %8.3f ±%5.3f %12.0f ±%7.0f",
 			r.Scheme, r.MeanNormalized, r.StdNormalized, r.MeanDelivered, r.StdDelivered)
+		if hasFCT {
+			fmt.Fprintf(w, " %9.2f ±%5.2f %9.2f ±%5.2f", r.MeanFCTP50, r.StdFCTP50, r.MeanFCTP99, r.StdFCTP99)
+		}
+		fmt.Fprintln(w)
 	}
 }
 

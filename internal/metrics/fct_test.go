@@ -1,0 +1,184 @@
+package metrics
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+func deliver(c *Collector, flow, size int, now sim.Cycle) {
+	c.Delivered(&pkt.Packet{Flow: flow, Size: size, Injected: now}, now)
+}
+
+func TestFCTNoneRegistered(t *testing.T) {
+	c := New(100, 4, 64)
+	deliver(c, 0, 2048, 10)
+	if st := c.FCTStats(); st != nil {
+		t.Fatalf("CBR-only collector reported FCT stats %+v", st)
+	}
+}
+
+func TestFCTSingleFlow(t *testing.T) {
+	c := New(100, 4, 64)
+	c.RegisterFlow(7, 5000, 10, 100)
+	deliver(c, 7, 2048, 50)
+	deliver(c, 7, 2048, 80)
+	st := c.FCTStats()
+	if st == nil || st.Completed != 0 || st.Incomplete != 1 {
+		t.Fatalf("mid-flight stats %+v", st)
+	}
+	deliver(c, 7, 904, 210)
+	st = c.FCTStats()
+	if st.Completed != 1 || st.Incomplete != 0 || st.Registered != 1 {
+		t.Fatalf("completed stats %+v", st)
+	}
+	// FCT = 210-10 = 200 cycles over ideal 100 → slowdown 2; a single
+	// sample is its own P50, P99, mean and max (no NaN, no interpolation
+	// surprises).
+	o := st.Overall
+	if o.MeanSlowdown != 2 || o.P50Slowdown != 2 || o.P99Slowdown != 2 || o.MaxSlowdown != 2 {
+		t.Fatalf("single-flow slowdowns %+v", o)
+	}
+	if want := sim.NSFromCycles(200); o.MeanFCTNS != want {
+		t.Fatalf("mean FCT %v ns, want %v", o.MeanFCTNS, want)
+	}
+	// 5000 bytes lands in the <=10KB bucket; the others stay zeroed.
+	if st.Buckets[0].Completed != 1 || st.Buckets[1].Completed != 0 {
+		t.Fatalf("bucket assignment %+v", st.Buckets)
+	}
+	if st.Buckets[1].P99Slowdown != 0 {
+		t.Fatalf("empty bucket has non-zero percentile: %+v", st.Buckets[1])
+	}
+}
+
+func TestFCTZeroCompleted(t *testing.T) {
+	c := New(100, 4, 64)
+	c.RegisterFlow(1, 1000, 0, 50)
+	c.RegisterFlow(2, 2000, 0, 50)
+	st := c.FCTStats()
+	if st.Completed != 0 || st.Incomplete != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	for _, v := range []float64{st.Overall.MeanSlowdown, st.Overall.P50Slowdown, st.Overall.P99Slowdown, st.Overall.MeanFCTNS} {
+		if v != 0 || math.IsNaN(v) {
+			t.Fatalf("zero-completed overall not zeroed: %+v", st.Overall)
+		}
+	}
+}
+
+func TestFCTBucketBoundaries(t *testing.T) {
+	c := New(100, 4, 64)
+	// One flow per size class, boundary-exact: 10_000 is still short,
+	// 10_001 is medium.
+	sizes := []int64{10_000, 10_001, 1_000_000, 1_000_001}
+	for i, sz := range sizes {
+		c.RegisterFlow(i, sz, 0, 10)
+		deliver(c, i, int(sz%2048)+1, 20) // partial
+		r := c.fct[i]
+		r.delivered = sz // finish it directly; byte math tested elsewhere
+		r.done, r.finish = true, 30
+	}
+	st := c.FCTStats()
+	var got []int64
+	for _, b := range st.Buckets {
+		got = append(got, b.Completed)
+	}
+	if want := []int64{1, 1, 1, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("bucket counts %v, want %v", got, want)
+	}
+}
+
+func TestFCTPercentilesExact(t *testing.T) {
+	c := New(100, 4, 64)
+	// 100 flows with slowdowns 1.0, 2.0, ..., 100.0 (ideal 10, FCT 10*i).
+	for i := 1; i <= 100; i++ {
+		c.RegisterFlow(i, 2048, 0, 10)
+		deliver(c, i, 2048, sim.Cycle(10*i))
+	}
+	st := c.FCTStats()
+	if st.Overall.P50Slowdown != 50 {
+		t.Fatalf("P50 %v, want 50 (exact order statistic)", st.Overall.P50Slowdown)
+	}
+	if st.Overall.P99Slowdown != 99 {
+		t.Fatalf("P99 %v, want 99", st.Overall.P99Slowdown)
+	}
+	if st.Overall.MaxSlowdown != 100 {
+		t.Fatalf("max %v, want 100", st.Overall.MaxSlowdown)
+	}
+}
+
+// TestFCTMergeExact pins the shard-merge identity: splitting the same
+// delivery stream across two collectors (by destination, as the
+// partitioned engine does) and merging must reproduce the serial
+// collector's stats field for field.
+func TestFCTMergeExact(t *testing.T) {
+	type ev struct {
+		flow, size int
+		now        sim.Cycle
+	}
+	regs := []struct {
+		flow  int
+		size  int64
+		start sim.Cycle
+		ideal sim.Cycle
+	}{
+		{0, 4096, 0, 64}, {1, 2048, 10, 32}, {2, 500_000, 0, 7_900}, {3, 1000, 5, 20},
+	}
+	evs := []ev{
+		{0, 2048, 100}, {1, 2048, 90}, {2, 2048, 50}, {0, 2048, 130},
+		{3, 1000, 40}, {2, 2048, 70}, // flow 2 stays incomplete
+	}
+	serial := New(100, 4, 64)
+	shards := []*Collector{New(100, 4, 64), New(100, 4, 64)}
+	shardOf := func(flow int) int { return flow % 2 }
+	for _, r := range regs {
+		serial.RegisterFlow(r.flow, r.size, r.start, r.ideal)
+		shards[shardOf(r.flow)].RegisterFlow(r.flow, r.size, r.start, r.ideal)
+	}
+	for _, e := range evs {
+		deliver(serial, e.flow, e.size, e.now)
+		deliver(shards[shardOf(e.flow)], e.flow, e.size, e.now)
+	}
+	merged := New(100, 4, 64)
+	merged.Merge(shards[0])
+	merged.Merge(shards[1])
+	a, b := serial.FCTStats(), merged.FCTStats()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("merged FCT stats differ from serial:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.Completed != 3 || a.Incomplete != 1 {
+		t.Fatalf("scenario drifted: %+v", a)
+	}
+	// Merging must deep-copy: mutating a shard afterwards may not move
+	// the merged view.
+	deliver(shards[0], 2, 2048, 200)
+	if c := merged.FCTStats().Completed; c != 3 {
+		t.Fatalf("merged view aliased shard state (completed %d)", c)
+	}
+}
+
+func TestFCTMergeConflictPanics(t *testing.T) {
+	a, b := New(100, 4, 64), New(100, 4, 64)
+	a.RegisterFlow(1, 1000, 0, 10)
+	b.RegisterFlow(1, 2000, 0, 10) // same id, different size
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting registration merged silently")
+		}
+	}()
+	a.Merge(b)
+}
+
+func TestFCTRegisterTwicePanics(t *testing.T) {
+	c := New(100, 4, 64)
+	c.RegisterFlow(1, 1000, 0, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration accepted")
+		}
+	}()
+	c.RegisterFlow(1, 1000, 0, 10)
+}

@@ -32,6 +32,10 @@ type Collector struct {
 	latencyCount int64
 	latencyMax   sim.Cycle
 	latencyHist  *Histogram
+
+	// fct tracks registered finite flows for completion-time stats
+	// (nil until the first RegisterFlow; see fct.go).
+	fct map[int]*fctRec
 }
 
 // New builds a collector. binCycles is the time-bin width; linkBPC the
@@ -72,6 +76,9 @@ func (c *Collector) Delivered(p *pkt.Packet, now sim.Cycle) {
 		fb := grow(c.flowBins[p.Flow], bin)
 		fb[bin] += int64(p.Size)
 		c.flowBins[p.Flow] = fb
+		if c.fct != nil {
+			c.observeFCT(p.Flow, p.Size, now)
+		}
 	}
 	lat := now - p.Injected
 	c.latencySum += int64(lat)
@@ -198,6 +205,7 @@ func (c *Collector) Merge(other *Collector) {
 		c.latencyMax = other.latencyMax
 	}
 	c.latencyHist.Merge(other.latencyHist)
+	c.mergeFCT(other)
 }
 
 func mergeBins(dst, src []int64) []int64 {

@@ -282,11 +282,11 @@ func TestThroughputConservation(t *testing.T) {
 // oversubscribed leaf-spine fabric: losslessness and victim protection
 // must hold on topologies beyond the paper's three configurations.
 func TestLeafSpineOversubscribed(t *testing.T) {
-	tp, err := topo.LeafSpine(4, 4, 2, 64, 4) // 16 nodes, 2:1 oversubscribed
+	ls, err := topo.NewLeafSpine(4, 4, 2, 1, 64, 4) // 16 nodes, 2:1 oversubscribed
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := Build(tp, core.PresetCCFIT(), Options{Seed: 17})
+	n, err := Build(ls.Topology, core.PresetCCFIT(), Options{Seed: 17, TieBreak: ls.DETTieBreak})
 	if err != nil {
 		t.Fatal(err)
 	}

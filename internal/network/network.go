@@ -385,7 +385,7 @@ func (n *Network) AddFlows(flows []traffic.Flow) error {
 			return err
 		}
 		n.Gen = gen
-		return nil
+		return n.registerFCT(flows)
 	}
 	// Partitioned: one generator per shard, each driving the flows whose
 	// source endpoint lives there, drawing uniform-destination RNGs in
@@ -404,7 +404,83 @@ func (n *Network) AddFlows(flows []traffic.Flow) error {
 	}
 	n.gens = gens
 	n.Gen = gens[0]
+	return n.registerFCT(flows)
+}
+
+// registerFCT declares every finite fixed-destination flow for
+// completion-time tracking. A flow registers on the collector of the
+// shard owning its *destination* endpoint — the shard that observes
+// every one of its deliveries — so per-shard FCT records stay disjoint
+// and Collector.Merge reproduces the serial stats exactly.
+func (n *Network) registerFCT(flows []traffic.Flow) error {
+	var seen map[int]bool
+	for _, f := range flows {
+		if f.Bytes <= 0 || f.Dst == traffic.UniformDst {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[int]bool)
+		}
+		if seen[f.ID] {
+			return fmt.Errorf("network: finite flows share id %d; FCT tracking needs unique ids", f.ID)
+		}
+		seen[f.ID] = true
+		ideal, err := n.IdealFCT(f.Src, f.Dst, f.Bytes, f.PktSize)
+		if err != nil {
+			return err
+		}
+		s := n.shardOfDevice(n.Topo.EndpointDevice(f.Dst))
+		n.shardCols[s].RegisterFlow(f.ID, f.Bytes, f.Start, ideal)
+	}
 	return nil
+}
+
+// IdealFCT returns a finite flow's contention-free completion time in
+// cycles: the first packet store-and-forwards hop by hop along the
+// routed path (serialization at each link's own bandwidth plus its
+// propagation delay), and the remaining bytes stream pipelined behind
+// it at the path's bottleneck rate. This is the denominator of the FCT
+// slowdown metric. pktSize 0 means MTU.
+func (n *Network) IdealFCT(src, dst int, size int64, pktSize int) (sim.Cycle, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("network: ideal FCT of a %d-byte flow", size)
+	}
+	if pktSize <= 0 {
+		pktSize = pkt.MTU
+	}
+	first := size
+	if first > int64(pktSize) {
+		first = int64(pktSize)
+	}
+	dev := n.Topo.EndpointDevice(src)
+	target := n.Topo.EndpointDevice(dst)
+	var total sim.Cycle
+	bottleneck := 0
+	for hops := 0; dev != target; hops++ {
+		if hops > len(n.Topo.Devices) {
+			return 0, fmt.Errorf("network: routing loop computing ideal FCT %d->%d", src, dst)
+		}
+		port := n.Tables.OutPort(dev, dst)
+		if port < 0 || port >= len(n.Topo.Devices[dev].Ports) {
+			return 0, fmt.Errorf("network: no route %d->%d at device %d", src, dst, dev)
+		}
+		c := n.Topo.Devices[dev].Ports[port]
+		l := n.Topo.Links[c.Link]
+		bpc := int64(l.BytesPerCycle)
+		total += sim.Cycle((first+bpc-1)/bpc) + l.Delay
+		if bottleneck == 0 || l.BytesPerCycle < bottleneck {
+			bottleneck = l.BytesPerCycle
+		}
+		dev = c.Peer
+	}
+	if rem := size - first; rem > 0 && bottleneck > 0 {
+		b := int64(bottleneck)
+		total += sim.Cycle((rem + b - 1) / b)
+	}
+	if total < 1 {
+		total = 1
+	}
+	return total, nil
 }
 
 // LinkLoad reports one link direction's lifetime statistics.

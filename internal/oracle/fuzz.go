@@ -60,8 +60,16 @@ func TopoByName(name string) (*topo.Topology, route.TieBreak, error) {
 			return nil, nil, err
 		}
 		return f.Topology, f.DETTieBreak, nil
+	case name == "leafspine":
+		// 3 leaves x 2 endpoints over 2 spines: the smallest fabric that
+		// exercises both the intra-leaf and the cross-spine path shapes.
+		ls, err := topo.NewLeafSpine(3, 2, 2, 1, sim.FlitBytes, topo.DefaultLinkDelay)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ls.Topology, ls.DETTieBreak, nil
 	default:
-		return nil, nil, fmt.Errorf("oracle: unknown topology %q (want starN, config1, tree22 or tree23)", name)
+		return nil, nil, fmt.Errorf("oracle: unknown topology %q (want starN, config1, tree22, tree23 or leafspine)", name)
 	}
 }
 
@@ -69,7 +77,7 @@ func TopoByName(name string) (*topo.Topology, route.TieBreak, error) {
 // include the related-work extras — the metamorphic relations are
 // scheme-independent, so every discipline should satisfy them.
 var (
-	fuzzTopos   = []string{"star3", "star4", "star5", "star6", "config1", "tree22", "tree23"}
+	fuzzTopos   = []string{"star3", "star4", "star5", "star6", "config1", "tree22", "tree23", "leafspine"}
 	fuzzSchemes = []string{"1Q", "FBICM", "ITh", "CCFIT", "VOQnet", "DBBM", "VOQsw", "OBQA"}
 )
 

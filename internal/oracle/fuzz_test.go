@@ -65,7 +65,7 @@ func TestGenConfigValid(t *testing.T) {
 // TestTopoByName covers the namespace's edges.
 func TestTopoByName(t *testing.T) {
 	t.Parallel()
-	for _, name := range []string{"star3", "star16", "config1", "tree22", "tree23"} {
+	for _, name := range []string{"star3", "star16", "config1", "tree22", "tree23", "leafspine"} {
 		if _, _, err := TopoByName(name); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}

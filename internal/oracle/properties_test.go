@@ -36,6 +36,19 @@ func TestPropertiesFixedConfigs(t *testing.T) {
 				{ID: 1, Src: 2, Dst: 1, Start: 0, End: 8_000, Rate: 0.50, Size: 256},
 			},
 		},
+		{
+			// A small incast onto the leaf-spine fabric: four sources on
+			// three different leaves converge on endpoint 0 at rates that
+			// sum below the sink link, so the run drains and the
+			// reference-agreement property applies end to end.
+			Label: "fixed-leafspine-ccfit", Topo: "leafspine", Scheme: "CCFIT", Seed: 13,
+			Flows: []RefFlow{
+				{ID: 0, Src: 1, Dst: 0, Start: 0, End: 10_000, Rate: 0.20, Size: 1024},
+				{ID: 1, Src: 2, Dst: 0, Start: 500, End: 11_000, Rate: 0.20, Size: 2048},
+				{ID: 2, Src: 4, Dst: 0, Start: 1_000, End: 12_000, Rate: 0.20, Size: 700},
+				{ID: 3, Src: 5, Dst: 0, Start: 1_500, End: 9_000, Rate: 0.20, Size: 512},
+			},
+		},
 	}
 	for _, cfg := range cases {
 		cfg := cfg

@@ -183,11 +183,12 @@ func TestBadTieBreakRejected(t *testing.T) {
 }
 
 func TestLeafSpineRouting(t *testing.T) {
-	tp, err := topo.LeafSpine(4, 4, 2, 64, 4)
+	ls, err := topo.NewLeafSpine(4, 4, 2, 1, 64, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Compute(tp, nil)
+	tp := ls.Topology
+	r, err := Compute(tp, ls.DETTieBreak)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,15 +222,74 @@ func TestLeafSpineRouting(t *testing.T) {
 	}
 }
 
+// TestLeafSpineTrunkedReachability demands that on a trunked,
+// oversubscribed fabric every ordered endpoint pair resolves a
+// loop-free path under DET routing (Tables.Path errors on loops and
+// dead ends), with the expected hop structure, and that all traffic to
+// one destination converges on a single spine and trunk member.
+func TestLeafSpineTrunkedReachability(t *testing.T) {
+	ls, err := topo.NewLeafSpine(3, 4, 2, 2, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Compute(ls.Topology, ls.DETTieBreak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne := ls.NumEndpoints()
+	for s := 0; s < ne; s++ {
+		for d := 0; d < ne; d++ {
+			if s == d {
+				continue
+			}
+			path, err := r.Path(ls.Topology, s, d)
+			if err != nil {
+				t.Fatalf("%d->%d: %v", s, d, err)
+			}
+			want := 5 // ep-leaf-spine-leaf-ep
+			if ls.LeafOf(s) == ls.LeafOf(d) {
+				want = 3 // ep-leaf-ep
+			}
+			if len(path) != want {
+				t.Fatalf("%d->%d path %v, want %d hops", s, d, path, want)
+			}
+		}
+	}
+	// Per-destination convergence: every source reaches d via one spine
+	// and, on the up hop, one trunk member.
+	for d := 0; d < ne; d++ {
+		spine, upPort := -1, -1
+		for s := 0; s < ne; s++ {
+			if s == d || ls.LeafOf(s) == ls.LeafOf(d) {
+				continue
+			}
+			path, _ := r.Path(ls.Topology, s, d)
+			leaf := path[1]
+			port := r.OutPort(leaf, d)
+			if spine == -1 {
+				spine, upPort = path[2], port-ls.Down
+			} else {
+				if path[2] != spine {
+					t.Fatalf("dest %d reached via spines %d and %d", d, spine, path[2])
+				}
+				if port-ls.Down != upPort {
+					t.Fatalf("dest %d climbs via up-offsets %d and %d", d, upPort, port-ls.Down)
+				}
+			}
+		}
+	}
+}
+
 func TestLeafSpinePerDestinationTree(t *testing.T) {
 	// All traffic to one destination crosses the same spine
 	// (deterministic per-destination routing, as congestion
 	// management requires).
-	tp, err := topo.LeafSpine(4, 4, 2, 64, 4)
+	ls, err := topo.NewLeafSpine(4, 4, 2, 1, 64, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Compute(tp, nil)
+	tp := ls.Topology
+	r, err := Compute(tp, ls.DETTieBreak)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,195 @@
+package traffic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CDF is an empirical flow-size distribution: a piecewise-linear
+// cumulative distribution over sizes in bytes, the form datacenter
+// traffic studies publish (the DCTCP web-search and VL2 data-mining
+// curves) and the form ns-2/ns-3 generators consume. Sampling is by
+// inverse transform with linear interpolation between points, so the
+// sampled distribution converges to exactly this curve — which is what
+// the KS-style generator tests assert.
+type CDF struct {
+	Name string
+	// Sizes (bytes, ascending) and P (cumulative probability,
+	// non-decreasing, ending at 1). Same length; P[0] may be > 0, giving
+	// Sizes[0] that point mass.
+	Sizes []int64
+	P     []float64
+}
+
+// NewCDF validates and returns a CDF over the given points.
+func NewCDF(name string, sizes []int64, p []float64) (*CDF, error) {
+	c := &CDF{Name: name, Sizes: sizes, P: p}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *CDF) validate() error {
+	if len(c.Sizes) == 0 || len(c.Sizes) != len(c.P) {
+		return fmt.Errorf("traffic: cdf %q has %d sizes but %d probabilities", c.Name, len(c.Sizes), len(c.P))
+	}
+	for i := range c.Sizes {
+		if c.Sizes[i] < 1 {
+			return fmt.Errorf("traffic: cdf %q point %d has size %d < 1 byte", c.Name, i, c.Sizes[i])
+		}
+		if c.P[i] < 0 || c.P[i] > 1 || math.IsNaN(c.P[i]) {
+			return fmt.Errorf("traffic: cdf %q point %d has probability %v outside [0,1]", c.Name, i, c.P[i])
+		}
+		if i > 0 && (c.Sizes[i] < c.Sizes[i-1] || c.P[i] < c.P[i-1]) {
+			return fmt.Errorf("traffic: cdf %q not monotone at point %d", c.Name, i)
+		}
+	}
+	if last := c.P[len(c.P)-1]; last != 1 {
+		return fmt.Errorf("traffic: cdf %q ends at probability %v, want 1", c.Name, last)
+	}
+	return nil
+}
+
+// Sample draws one flow size by inverse transform: u ~ U[0,1) is
+// mapped through the piecewise-linear inverse CDF. Sizes are at least
+// 1 byte.
+func (c *CDF) Sample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	// First point at or above u.
+	i := sort.Search(len(c.P), func(i int) bool { return c.P[i] >= u })
+	if i >= len(c.P) {
+		i = len(c.P) - 1
+	}
+	if i == 0 || c.P[i] == c.P[i-1] {
+		return c.Sizes[i]
+	}
+	// Interpolate within the segment (i-1, i].
+	frac := (u - c.P[i-1]) / (c.P[i] - c.P[i-1])
+	s := float64(c.Sizes[i-1]) + frac*float64(c.Sizes[i]-c.Sizes[i-1])
+	sz := int64(math.Ceil(s))
+	if sz < 1 {
+		sz = 1
+	}
+	return sz
+}
+
+// At returns the interpolated cumulative probability P(size <= x) —
+// the continuous curve Sample draws from, used by the statistical
+// generator tests to compute exact KS deviations.
+func (c *CDF) At(x int64) float64 {
+	if x < c.Sizes[0] {
+		return 0
+	}
+	n := len(c.Sizes)
+	if x >= c.Sizes[n-1] {
+		return 1
+	}
+	i := sort.Search(n, func(i int) bool { return c.Sizes[i] > x })
+	// c.Sizes[i-1] <= x < c.Sizes[i].
+	if c.Sizes[i] == c.Sizes[i-1] {
+		return c.P[i]
+	}
+	frac := float64(x-c.Sizes[i-1]) / float64(c.Sizes[i]-c.Sizes[i-1])
+	return c.P[i-1] + frac*(c.P[i]-c.P[i-1])
+}
+
+// Mean returns the expected flow size in bytes of the interpolated
+// distribution — the number that converts a target offered load into a
+// Poisson arrival rate.
+func (c *CDF) Mean() float64 {
+	mean := c.P[0] * float64(c.Sizes[0])
+	for i := 1; i < len(c.P); i++ {
+		// Mass P[i]-P[i-1] spread uniformly over [Sizes[i-1], Sizes[i]].
+		mean += (c.P[i] - c.P[i-1]) * float64(c.Sizes[i-1]+c.Sizes[i]) / 2
+	}
+	return mean
+}
+
+// ParseCDF reads the ns-2/CONGA flow-size CDF file format: one point
+// per line, "<size_bytes> <index> <cumulative_probability>" (the middle
+// column is ignored, as the exemplar generators do); '#' starts a
+// comment. Lines must be ascending in both size and probability and
+// end at probability 1.
+func ParseCDF(name string, r io.Reader) (*CDF, error) {
+	c := &CDF{Name: name}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("traffic: cdf %q line %d: want 3 fields \"size index prob\", got %d", name, line, len(fields))
+		}
+		sz, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: cdf %q line %d: bad size %q", name, line, fields[0])
+		}
+		p, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: cdf %q line %d: bad probability %q", name, line, fields[2])
+		}
+		c.Sizes = append(c.Sizes, int64(math.Ceil(sz)))
+		c.P = append(c.P, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// LoadCDF reads a CDF file from disk (see ParseCDF for the format).
+func LoadCDF(path string) (*CDF, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseCDF(path, f)
+}
+
+// WebSearchCDF is the DCTCP web-search workload (Alizadeh et al.,
+// SIGCOMM 2010, Fig. 4): mostly sub-100KB query/short-message traffic
+// with a heavy tail of multi-MB background flows. Mean ~= 1.6 MB.
+func WebSearchCDF() *CDF {
+	c, err := NewCDF("websearch",
+		[]int64{1_000, 10_000, 20_000, 30_000, 50_000, 80_000, 200_000,
+			1_000_000, 2_000_000, 5_000_000, 10_000_000, 30_000_000},
+		[]float64{0, 0.15, 0.20, 0.30, 0.40, 0.53, 0.60, 0.70, 0.80, 0.90, 0.97, 1})
+	if err != nil {
+		panic(err) // embedded tables ship with their validator
+	}
+	return c
+}
+
+// DataMiningCDF is the VL2 data-mining workload (Greenberg et al.,
+// SIGCOMM 2009, as tabulated by the CONGA/ns-3 generators): about half
+// the flows are tiny control messages, with a tail out to ~700 KB.
+// Mean ~= 5 KB, so a given offered load produces far more concurrent
+// flows than web-search — the CAM/CFQ stress regime.
+func DataMiningCDF() *CDF {
+	c, err := NewCDF("datamining",
+		[]int64{1, 2, 3, 7, 267, 2_107, 66_667, 666_667},
+		[]float64{0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99, 1})
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

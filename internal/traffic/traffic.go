@@ -33,6 +33,12 @@ type Flow struct {
 	Rate float64
 	// PktSize is the packet size in bytes (default MTU if zero).
 	PktSize int
+	// Bytes, when positive, makes the flow finite: it sends exactly
+	// Bytes bytes (the last packet may be shorter than PktSize) and then
+	// deactivates, regardless of how much window remains — the open-loop
+	// flow model datacenter FCT studies use. Zero keeps the unbounded
+	// window-CBR semantics of the paper's Cases #1-#4.
+	Bytes int64
 }
 
 // InjectHook observes every successful injection (metrics wiring).
@@ -55,8 +61,23 @@ type Generator struct {
 
 type flowState struct {
 	Flow
-	acc float64
-	rng *rand.Rand // only for uniform destinations
+	acc  float64
+	sent int64      // bytes emitted so far (finite flows deactivate at Bytes)
+	rng  *rand.Rand // only for uniform destinations
+}
+
+// done reports whether a finite flow has emitted its full size.
+func (f *flowState) done() bool { return f.Bytes > 0 && f.sent >= f.Bytes }
+
+// pktSize returns the next packet's size: PktSize, or the finite
+// flow's remaining bytes when fewer are left.
+func (f *flowState) pktSize() int {
+	if f.Bytes > 0 {
+		if rem := f.Bytes - f.sent; rem < int64(f.PktSize) {
+			return int(rem)
+		}
+	}
+	return f.PktSize
 }
 
 // NewGenerator builds a generator and registers it with the engine's
@@ -142,6 +163,8 @@ func validate(f Flow, n int) error {
 		return fmt.Errorf("traffic: flow %d has empty window [%d,%d)", f.ID, f.Start, f.End)
 	case f.PktSize <= 0 || f.PktSize > pkt.MTU:
 		return fmt.Errorf("traffic: flow %d packet size %d outside (0,MTU]", f.ID, f.PktSize)
+	case f.Bytes < 0:
+		return fmt.Errorf("traffic: flow %d has negative size %d", f.ID, f.Bytes)
 	case n < 2 && f.Dst == UniformDst:
 		return fmt.Errorf("traffic: uniform flow %d needs at least 2 endpoints", f.ID)
 	}
@@ -152,7 +175,7 @@ func validate(f Flow, n int) error {
 func (g *Generator) inject(now sim.Cycle) {
 	for i := range g.flows {
 		f := &g.flows[i]
-		if now < f.Start || now >= f.End {
+		if f.done() || now < f.Start || now >= f.End {
 			continue
 		}
 		f.acc += f.Rate * float64(g.bpc[f.Src])
@@ -162,7 +185,7 @@ func (g *Generator) inject(now sim.Cycle) {
 		if f.acc > max {
 			f.acc = max
 		}
-		for f.acc >= float64(f.PktSize) {
+		for sz := f.pktSize(); f.acc >= float64(sz); sz = f.pktSize() {
 			dst := f.Dst
 			if dst == UniformDst {
 				dst = f.rng.Intn(len(g.nodes) - 1)
@@ -170,14 +193,18 @@ func (g *Generator) inject(now sim.Cycle) {
 					dst++
 				}
 			}
-			p := g.pool.NewData(g.ids, f.Src, dst, f.ID, f.PktSize, now)
+			p := g.pool.NewData(g.ids, f.Src, dst, f.ID, sz, now)
 			if !g.nodes[f.Src].Offer(p) {
 				g.pool.Release(p)
 				break // source stall: retry next cycle
 			}
-			f.acc -= float64(f.PktSize)
+			f.acc -= float64(sz)
+			f.sent += int64(sz)
 			if g.hook != nil {
 				g.hook(p)
+			}
+			if f.done() {
+				break
 			}
 		}
 	}
@@ -192,10 +219,13 @@ func (g *Generator) inject(now sim.Cycle) {
 	}
 }
 
-// anyActive reports whether some flow's window covers `now`.
+// anyActive reports whether some flow's window covers `now` (finished
+// finite flows no longer count: once every flow is done the generator
+// sleeps for good even if windows remain open).
 func (g *Generator) anyActive(now sim.Cycle) bool {
 	for i := range g.flows {
-		if now >= g.flows[i].Start && now < g.flows[i].End {
+		f := &g.flows[i]
+		if !f.done() && now >= f.Start && now < f.End {
 			return true
 		}
 	}

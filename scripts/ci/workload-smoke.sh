@@ -1,0 +1,63 @@
+#!/bin/sh
+# Workload smoke test: proves the datacenter axis end to end, at the
+# process level, the way a user runs it.
+#
+#   1. The xleafincast experiment (open-loop CDF traffic on the
+#      leaf-spine fabric) renders FCT slowdown tables — the sanity
+#      grep fails if the finite-flow path silently stopped registering.
+#   2. Partitioned identity: `-sim-workers 4` must render byte-identical
+#      stdout to the serial run, FCT tables included.
+#   3. Remote identity: the same campaign submitted through a real
+#      ccfit-serve instance must render byte-identical stdout too.
+#
+# Everything here goes through the public surfaces only: the CLI flags,
+# the HTTP API, stdout.
+set -e
+
+workdir=$(mktemp -d)
+trap 'kill $serve_pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir" ./cmd/ccfit-serve ./cmd/ccfit-run
+
+echo "== xleafincast renders FCT slowdown tables"
+"$workdir/ccfit-run" -ms 1 xleafincast > "$workdir/serial.out"
+grep -q "FCT slowdown" "$workdir/serial.out" || {
+    echo "FAIL: no FCT table in xleafincast output"
+    cat "$workdir/serial.out"
+    exit 1
+}
+grep -q "flows completed" "$workdir/serial.out" || {
+    echo "FAIL: no completion counts in xleafincast output"
+    exit 1
+}
+
+echo "== -sim-workers 4 output is byte-identical to serial"
+# GOMAXPROCS=4 with one campaign worker guarantees the runner's
+# oversubscription cap leaves all 4 shard workers in place even on a
+# single-core machine — identity must hold, oversubscribed or not.
+GOMAXPROCS=4 "$workdir/ccfit-run" -workers 1 -ms 1 -sim-workers 4 xleafincast > "$workdir/partitioned.out"
+diff "$workdir/serial.out" "$workdir/partitioned.out"
+
+echo "== remote campaign output is byte-identical to local"
+: > "$workdir/serve.log"
+"$workdir/ccfit-serve" -addr 127.0.0.1:0 -data "$workdir/state" -workers 4 \
+    > "$workdir/serve.log" 2>&1 &
+serve_pid=$!
+url=""
+i=0
+while [ $i -lt 100 ]; do
+    url=$(sed -n 's/^ccfit-serve: listening on //p' "$workdir/serve.log")
+    [ -n "$url" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.2
+    i=$((i + 1))
+done
+if [ -z "$url" ]; then
+    echo "FAIL: ccfit-serve did not come up"
+    cat "$workdir/serve.log"
+    exit 1
+fi
+"$workdir/ccfit-run" -server "$url" -ms 1 xleafincast > "$workdir/remote.out"
+diff "$workdir/serial.out" "$workdir/remote.out"
+
+echo "workload smoke: OK"
