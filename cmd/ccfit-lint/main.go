@@ -1,7 +1,12 @@
-// Command ccfit-lint runs the repo's determinism and hot-path
-// static-analysis suite (internal/lint) over the module and reports
-// findings. CI runs it with no flags and fails on any diagnostic; the
-// same suite also runs as a go test gate in internal/lint.
+// Command ccfit-lint runs the repo's static-analysis suite
+// (internal/lint) over the module and reports findings: the
+// determinism and hot-path rules guarding the simulation core
+// (determinism, hotpath-alloc, phase-discipline, pool-hygiene,
+// mailbox-order, unchecked-err) plus the concurrency family guarding
+// the service layer and the parallel engine (guarded-field,
+// lock-order, goroutine-lifecycle, shard-escape). CI runs it with no
+// flags and fails on any diagnostic; the same suite also runs as a go
+// test gate in internal/lint.
 //
 // Usage:
 //

@@ -51,7 +51,7 @@ type record struct {
 // journal is an open per-campaign journal file.
 type journal struct {
 	mu sync.Mutex
-	f  *os.File
+	f  *os.File // guarded by mu
 }
 
 func journalPath(dir, id string) string {
@@ -122,6 +122,16 @@ func (j *journal) append(r record, sync bool) error {
 		return j.f.Sync()
 	}
 	return nil
+}
+
+// sync forces buffered journal writes to disk without appending — the
+// campaign-completion quiesce point. It exists so callers never touch
+// j.f directly: a bare j.f.Sync() from outside would race a concurrent
+// append's write-then-sync sequence.
+func (j *journal) sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Sync()
 }
 
 func (j *journal) close() error {

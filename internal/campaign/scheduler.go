@@ -51,21 +51,25 @@ type item struct {
 	index int
 }
 
-// campaign is the scheduler's in-memory record of one campaign.
+// campaign is the scheduler's in-memory record of one campaign. The
+// identity fields (id, sub, submitted) are immutable after
+// construction; every mutable field is guarded by the owning
+// scheduler's mutex — the nested-ownership design the guarded-field
+// rule's Type.mu annotation form exists for.
 type campaign struct {
 	id        string
 	sub       Submission
 	submitted time.Time
-	jobs      []runner.Job
-	status    Status
-	cancelled bool // cancel requested (status flips when drained)
-	states    []jobState
-	results   []*experiments.Result // jobs finished in this process
-	pending   int                   // jobs not yet terminal
-	ctx       context.Context
-	cancel    context.CancelFunc
-	jl        *journal
-	subs      map[chan Event]struct{}
+	jobs      []runner.Job          // guarded by Scheduler.mu
+	status    Status                // guarded by Scheduler.mu
+	cancelled bool                  // guarded by Scheduler.mu; cancel requested (status flips when drained)
+	states    []jobState            // guarded by Scheduler.mu
+	results   []*experiments.Result // guarded by Scheduler.mu; jobs finished in this process
+	pending   int                   // guarded by Scheduler.mu; jobs not yet terminal
+	ctx       context.Context       // guarded by Scheduler.mu
+	cancel    context.CancelFunc    // guarded by Scheduler.mu
+	jl        *journal              // guarded by Scheduler.mu
+	subs      map[chan Event]struct{} // guarded by Scheduler.mu
 }
 
 // Scheduler owns the durable queue: campaigns expand into jobs,
@@ -81,11 +85,11 @@ type Scheduler struct {
 
 	mu        sync.Mutex
 	cond      *sync.Cond
-	campaigns map[string]*campaign
-	order     []string
-	queue     []item
-	seq       int
-	closed    bool
+	campaigns map[string]*campaign // guarded by mu
+	order     []string             // guarded by mu
+	queue     []item               // guarded by mu
+	seq       int                  // guarded by mu
+	closed    bool                 // guarded by mu
 	wg        sync.WaitGroup
 }
 
@@ -168,7 +172,17 @@ func (s *Scheduler) Draining() bool {
 }
 
 // resume replays every journal in the data directory.
+//
+// It runs from Open before any worker goroutine exists, so it could
+// not race today — but it mutates the same queue/campaign state every
+// other writer touches under s.mu, and "safe because of who calls me"
+// is exactly the invariant a later refactor (background re-scan, hot
+// reload) breaks without noticing. Holding the lock costs nothing here
+// and lets the guarded-field rule prove the discipline instead of
+// trusting the call graph's history.
 func (s *Scheduler) resume() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	paths, err := listJournals(s.opt.Dir)
 	if err != nil {
 		return err
@@ -493,7 +507,10 @@ func (s *Scheduler) completeLocked(c *campaign) {
 	c.status = terminalStatus(c)
 	c.cancel() // release the campaign's context resources
 	if c.jl != nil {
-		if err := c.jl.f.Sync(); err != nil {
+		// Through the journal's own locked method, not c.jl.f.Sync()
+		// directly: reaching around journal.mu to its file handle races
+		// any concurrent append's write-then-sync sequence.
+		if err := c.jl.sync(); err != nil {
 			s.metrics.JournalErrors.Add(1)
 		}
 	}

@@ -58,24 +58,29 @@ const (
 )
 
 // task is one job waiting on, or moving through, the worker fleet.
+// Identity fields (id, job, wire, emit, done) are immutable after
+// Enqueue; the lifecycle fields are guarded by the owning board's
+// mutex.
 type task struct {
 	id        uint64
 	job       runner.Job
 	wire      runner.WireJob
 	emit      func(runner.Event)
-	state     taskState
-	lease     *lease
-	reassigns int
-	result    runner.JobResult
-	done      chan struct{} // closed on taskDone and taskWithdrawn
+	state     taskState        // guarded by Board.mu
+	lease     *lease           // guarded by Board.mu
+	reassigns int              // guarded by Board.mu
+	result    runner.JobResult // guarded by Board.mu
+	done      chan struct{}    // closed on taskDone and taskWithdrawn
 }
 
-// lease is one grant of one task to one worker.
+// lease is one grant of one task to one worker. id/task/worker are
+// fixed at grant time; only the expiry moves (heartbeat extensions),
+// under the board's mutex.
 type lease struct {
 	id      string
 	task    *task
 	worker  *workerRec
-	expires time.Time
+	expires time.Time // guarded by Board.mu
 }
 
 // workerRec is the board's view of one registered worker.
@@ -83,9 +88,9 @@ type workerRec struct {
 	id       string
 	name     string
 	module   string
-	lastSeen time.Time
-	active   map[string]*lease // lease id -> lease
-	done     int64
+	lastSeen time.Time         // guarded by Board.mu
+	active   map[string]*lease // guarded by Board.mu; lease id -> lease
+	done     int64             // guarded by Board.mu
 }
 
 // WorkerView is the API shape of one worker row in GET /workers.
@@ -108,13 +113,13 @@ type Board struct {
 	opt Options
 
 	mu        sync.Mutex
-	queue     []*task
-	leases    map[string]*lease
-	workers   map[string]*workerRec
-	taskSeq   uint64
-	leaseSeq  uint64
-	workerSeq int
-	closed    bool
+	queue     []*task               // guarded by mu
+	leases    map[string]*lease     // guarded by mu
+	workers   map[string]*workerRec // guarded by mu
+	taskSeq   uint64                // guarded by mu
+	leaseSeq  uint64                // guarded by mu
+	workerSeq int                   // guarded by mu
+	closed    bool                  // guarded by mu
 
 	sweepStop chan struct{}
 	sweepDone chan struct{}

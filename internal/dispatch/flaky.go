@@ -29,7 +29,7 @@ type CutTransport struct {
 	Next http.RoundTripper
 
 	mu   sync.Mutex
-	dead bool
+	dead bool // guarded by mu
 }
 
 // Kill severs the transport. Safe to call concurrently and repeatedly.
@@ -77,7 +77,7 @@ type FlakyTransport struct {
 	DelayBy time.Duration
 
 	mu sync.Mutex
-	n  int
+	n  int // guarded by mu
 }
 
 // Requests reports how many requests the transport has seen.

@@ -135,8 +135,8 @@ type Worker struct {
 	Opt    WorkerOptions
 
 	mu       sync.Mutex
-	workerID string
-	ttl      time.Duration
+	workerID string        // guarded by mu
+	ttl      time.Duration // guarded by mu
 }
 
 func (w *Worker) logf(format string, args ...any) {

@@ -110,12 +110,16 @@ func checkGolden(t *testing.T, diags []Diagnostic, file string, wants []want) {
 	}
 }
 
-func TestGoldenDeterminism(t *testing.T)     { testGolden(t, "detviol") }
-func TestGoldenHotpathAlloc(t *testing.T)    { testGolden(t, "hotviol") }
-func TestGoldenMailboxOrder(t *testing.T)    { testGolden(t, "mailviol") }
-func TestGoldenPhaseDiscipline(t *testing.T) { testGolden(t, "phaseviol") }
-func TestGoldenPoolHygiene(t *testing.T)     { testGolden(t, "poolviol") }
-func TestGoldenUncheckedErr(t *testing.T)    { testGolden(t, "errviol") }
+func TestGoldenDeterminism(t *testing.T)        { testGolden(t, "detviol") }
+func TestGoldenGoroutineLifecycle(t *testing.T) { testGolden(t, "goroviol") }
+func TestGoldenGuardedField(t *testing.T)       { testGolden(t, "guardviol") }
+func TestGoldenHotpathAlloc(t *testing.T)       { testGolden(t, "hotviol") }
+func TestGoldenLockOrder(t *testing.T)          { testGolden(t, "lockordviol") }
+func TestGoldenMailboxOrder(t *testing.T)       { testGolden(t, "mailviol") }
+func TestGoldenPhaseDiscipline(t *testing.T)    { testGolden(t, "phaseviol") }
+func TestGoldenPoolHygiene(t *testing.T)        { testGolden(t, "poolviol") }
+func TestGoldenShardEscape(t *testing.T)        { testGolden(t, "shardviol") }
+func TestGoldenUncheckedErr(t *testing.T)       { testGolden(t, "errviol") }
 
 func testGolden(t *testing.T, name string) {
 	diags, file := runTestdata(t, name)

@@ -93,10 +93,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism(),
+		GoroutineLifecycle(),
+		GuardedField(),
 		HotpathAlloc(),
+		LockOrder(),
 		MailboxOrder(),
 		PhaseDiscipline(),
 		PoolHygiene(),
+		ShardEscape(),
 		UncheckedErr(),
 	}
 }

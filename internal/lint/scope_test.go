@@ -27,6 +27,22 @@ func TestScopeComplete(t *testing.T) {
 	for name := range serviceScope {
 		assertDirExists(t, name)
 	}
+	// Bridge files and testdata reclassifications must point at files
+	// that still exist — a stale entry would silently widen an exemption.
+	for key := range bridgeScope {
+		if _, err := os.Stat(filepath.Join("..", filepath.FromSlash(key))); err == nil {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join("testdata", "src", filepath.FromSlash(key))); err == nil {
+			continue
+		}
+		t.Errorf("bridgeScope names %q but no such file exists under internal/ or testdata/src/", key)
+	}
+	for name := range testdataScope {
+		if _, err := os.Stat(filepath.Join("testdata", "src", name)); err != nil {
+			t.Errorf("testdataScope names %q but the testdata package is missing: %v", name, err)
+		}
+	}
 }
 
 func assertDirExists(t *testing.T, name string) {
@@ -108,8 +124,13 @@ func TestSimScopeApplies(t *testing.T) {
 		t.Fatal("module load did not find internal/cam")
 	}
 	for _, a := range All() {
-		if a.Name == "phase-discipline" {
+		switch a.Name {
+		case "phase-discipline":
 			continue // applies to sim code except internal/sim itself; cam is covered
+		case "goroutine-lifecycle":
+			continue // service-scope rule: sim packages may not spawn goroutines at all
+		case "shard-escape":
+			continue // bridge-file rule: fires only on packages with a declared bridge file
 		}
 		if a.Applies != nil && !a.Applies(m, cam) {
 			t.Errorf("rule %s does not apply to internal/cam; sim packages must keep full coverage", a.Name)
@@ -121,5 +142,74 @@ func TestSimScopeApplies(t *testing.T) {
 	}
 	if !as[0].Applies(m, cam) {
 		t.Error("phase-discipline does not apply to internal/cam")
+	}
+}
+
+// TestBridgeFileScope pins the per-file bridge classification: exactly
+// the declared parallel-engine file is ScopeBridge, while its sibling
+// files in the same package keep plain simulation scope. A bridge
+// exemption must never leak from one file to the rest of its package.
+func TestBridgeFileScope(t *testing.T) {
+	m := testModule(t)
+	simPath := m.Name + "/internal/sim"
+	if got := fileScope(m, simPath, filepath.Join(m.Root, "internal", "sim", "parallel.go")); got != ScopeBridge {
+		t.Errorf("fileScope(sim/parallel.go) = %v, want ScopeBridge", got)
+	}
+	if got := fileScope(m, simPath, filepath.Join(m.Root, "internal", "sim", "sim.go")); got != ScopeSim {
+		t.Errorf("fileScope(sim/sim.go) = %v, want ScopeSim", got)
+	}
+	// Basename matching must not promote a parallel.go in a different
+	// package: the key is top-dir qualified.
+	if got := fileScope(m, m.Name+"/internal/cam", "parallel.go"); got != ScopeSim {
+		t.Errorf("fileScope(cam/parallel.go) = %v, want ScopeSim (bridge keys are package-qualified)", got)
+	}
+	if fileScope(m, "other/module/pkg", "parallel.go") != ScopeService {
+		t.Error("fileScope outside internal/ must fall back to the package class")
+	}
+}
+
+// TestConcurrencyRuleApplies pins the Applies scoping of the
+// concurrency family: guarded-field and lock-order run on every
+// internal package, goroutine-lifecycle only outside simulation scope,
+// and shard-escape only on packages containing a declared bridge file.
+func TestConcurrencyRuleApplies(t *testing.T) {
+	m := testModule(t)
+	pkgByPath := make(map[string]*Package)
+	for _, pkg := range m.Packages {
+		pkgByPath[pkg.Path] = pkg
+	}
+	sim := pkgByPath[m.Name+"/internal/sim"]
+	cam := pkgByPath[m.Name+"/internal/cam"]
+	dispatch := pkgByPath[m.Name+"/internal/dispatch"]
+	if sim == nil || cam == nil || dispatch == nil {
+		t.Fatal("module load is missing internal/sim, internal/cam, or internal/dispatch")
+	}
+
+	applies := func(rule string, pkg *Package) bool {
+		as, err := ByName([]string{rule})
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", rule, err)
+		}
+		return as[0].Applies == nil || as[0].Applies(m, pkg)
+	}
+
+	for _, rule := range []string{"guarded-field", "lock-order"} {
+		for _, pkg := range []*Package{sim, cam, dispatch} {
+			if !applies(rule, pkg) {
+				t.Errorf("rule %s must apply to %s: lock discipline is scope-independent", rule, pkg.Path)
+			}
+		}
+	}
+	if applies("goroutine-lifecycle", sim) || applies("goroutine-lifecycle", cam) {
+		t.Error("goroutine-lifecycle must not apply to simulation packages; determinism already bans their goroutines")
+	}
+	if !applies("goroutine-lifecycle", dispatch) {
+		t.Error("goroutine-lifecycle must apply to internal/dispatch")
+	}
+	if !applies("shard-escape", sim) {
+		t.Error("shard-escape must apply to internal/sim: it contains the declared bridge file")
+	}
+	if applies("shard-escape", cam) || applies("shard-escape", dispatch) {
+		t.Error("shard-escape must only apply to packages containing a bridge file")
 	}
 }

@@ -1,0 +1,110 @@
+// Package goroviol seeds goroutine-lifecycle violations: orphan
+// goroutines with no provable join, goroutines running functions the
+// package cannot see into, and a suppressed process-lifetime daemon.
+// The four legitimate join shapes — WaitGroup pairing, an owned
+// done-channel, context cancellation, and consuming an owner-closed
+// channel — must stay silent. The package is mapped to service scope
+// in testdataScope: this rule only runs outside simulation packages.
+package goroviol
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Orphan never signals anything the package joins on.
+func Orphan(n int) {
+	go func() { // want goroutine-lifecycle "no provable join"
+		for i := 0; i < n; i++ {
+			_ = i
+		}
+	}()
+}
+
+// OpaqueValue launches a function value: nothing to analyze.
+func OpaqueValue(work func()) {
+	go work() // want goroutine-lifecycle "function value"
+}
+
+// OpaqueExternal launches another package's function: its body is
+// outside this package's analysis horizon.
+func OpaqueExternal() {
+	go fmt.Println("orphan") // want goroutine-lifecycle "fmt.Println"
+}
+
+// SuppressedDaemon is the acknowledged exception shape.
+func SuppressedDaemon(beat chan<- int) {
+	//lint:ignore goroutine-lifecycle process-lifetime daemon by design, reaped at exit
+	go func() {
+		for {
+			beat <- 1
+		}
+	}()
+}
+
+// WaitGrouped joins by WaitGroup pairing.
+func WaitGrouped(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// CtxScoped joins by context cancellation.
+func CtxScoped(ctx context.Context, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+// DoneChannel joins by an owned done-channel the spawner receives.
+func DoneChannel() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+// Consume joins by draining a channel its owner closes.
+func Consume(items []int) {
+	feed := make(chan int)
+	go func() {
+		for range feed {
+		}
+	}()
+	for _, v := range items {
+		feed <- v
+	}
+	close(feed)
+}
+
+// manager proves `go m.run()` resolves to the declared method body:
+// the Done pairing lives across three methods.
+type manager struct {
+	wg sync.WaitGroup
+}
+
+func (m *manager) run() {
+	defer m.wg.Done()
+}
+
+func (m *manager) Start() {
+	m.wg.Add(1)
+	go m.run()
+}
+
+func (m *manager) Stop() {
+	m.wg.Wait()
+}

@@ -1,0 +1,92 @@
+// Package guardviol seeds guarded-field violations: annotated fields
+// accessed without their mutex, an annotation that resolves to
+// nothing, the Type.mu outer-lock form, and an unannotated field the
+// rule flags by inference. The clean shapes (locked accesses, the
+// *Locked helper convention resolved by call-graph fixpoint, and a
+// suppressed read) must stay silent.
+package guardviol
+
+import "sync"
+
+// counter is the annotated pair: n's accesses are checked against mu.
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	m  int // guarded by wrongName -- want guarded-field "not a mutex field"
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) bad() int {
+	return c.n // want guarded-field "guarded by counter.mu but read here without it held"
+}
+
+func (c *counter) badWrite() {
+	c.n = 0 // want guarded-field "guarded by counter.mu but written here without it held"
+}
+
+func (c *counter) suppressedPeek() int {
+	//lint:ignore guarded-field monitoring read tolerates a stale value
+	return c.n
+}
+
+// addLocked never locks itself: every call site holds mu, so the
+// entry-held fixpoint proves the access safe without naming magic.
+func (c *counter) addLocked(d int) {
+	c.n += d
+}
+
+func (c *counter) add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked(d)
+}
+
+func (c *counter) addTwice(d int) {
+	c.mu.Lock()
+	c.addLocked(d)
+	c.addLocked(d)
+	c.mu.Unlock()
+}
+
+// registry/entry exercise the Type.mu form: an outer lock guarding an
+// inner record's field.
+type registry struct {
+	mu      sync.Mutex
+	entries []*entry
+}
+
+type entry struct {
+	hits int // guarded by registry.mu
+}
+
+func (r *registry) touch(e *entry) {
+	r.mu.Lock()
+	e.hits++
+	r.mu.Unlock()
+}
+
+func poke(e *entry) {
+	e.hits++ // want guarded-field "guarded by registry.mu but written here without it held"
+}
+
+// gauge has no annotation at all: val is written under the struct's
+// only mutex and read outside it, so the rule flags it for annotation.
+type gauge struct {
+	mu  sync.Mutex
+	val int
+}
+
+func (g *gauge) set(v int) {
+	g.mu.Lock()
+	g.val = v
+	g.mu.Unlock()
+}
+
+func (g *gauge) peek() int {
+	return g.val // want guarded-field "written with gauge.mu held elsewhere"
+}

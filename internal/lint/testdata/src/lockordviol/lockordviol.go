@@ -1,0 +1,90 @@
+// Package lockordviol seeds lock-order violations: an AB/BA inversion
+// reported with both acquisition chains, a double-lock self-cycle, an
+// inversion reached through an intra-package call (the mayAcquire
+// propagation), and a suppressed cycle. Consistent nested orders stay
+// silent. Package-level mutex variables keep the fixture invisible to
+// the guarded-field rule, which only reasons about struct fields.
+package lockordviol
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+	muD sync.Mutex
+	muE sync.Mutex
+)
+
+func aThenB() {
+	muA.Lock()
+	muB.Lock() // want lock-order "lock-order cycle: muA acquired before muB"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func bThenA() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+func doubleLock() {
+	muC.Lock()
+	muC.Lock() // want lock-order "muC is acquired at lockordviol.go"
+	muC.Unlock()
+	muC.Unlock()
+}
+
+// The muD/muE inversion is only visible through the call graph: dThenE
+// never mentions muE, but lockE may acquire it.
+func lockE() {
+	muE.Lock()
+	muE.Unlock()
+}
+
+// A second lock-free caller keeps lockE's entry-held set empty, so the
+// muD→muE edge materializes at dThenE's call site (pure mayAcquire
+// propagation) rather than inside lockE via the entry fixpoint.
+func lockEAlone() {
+	lockE()
+}
+
+func dThenE() {
+	muD.Lock()
+	lockE() // want lock-order "lock-order cycle: muD acquired before muE"
+	muD.Unlock()
+}
+
+func eThenD() {
+	muE.Lock()
+	muD.Lock()
+	muD.Unlock()
+	muE.Unlock()
+}
+
+// The muB-under-muC inversion below is acknowledged with a reasoned
+// line-level suppression at the cycle's anchor site.
+func suppressedCThenB() {
+	muC.Lock()
+	//lint:ignore lock-order fixture proves cycle suppression at the anchor site
+	muB.Lock()
+	muB.Unlock()
+	muC.Unlock()
+}
+
+func bThenC() {
+	muB.Lock()
+	muC.Lock()
+	muC.Unlock()
+	muB.Unlock()
+}
+
+// Consistent order everywhere: never reported.
+func cleanNested() {
+	muA.Lock()
+	muD.Lock()
+	muD.Unlock()
+	muA.Unlock()
+}

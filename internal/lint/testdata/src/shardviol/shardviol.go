@@ -1,0 +1,117 @@
+// Package shardviol seeds shard-escape violations. Its single file is
+// declared a bridge file in bridgeScope, so the determinism rule's
+// go-statement ban is lifted here — the time.Now below proves every
+// OTHER determinism check still applies — and the shard-escape rule
+// polices the goroutines instead: workers must be join-scoped inline
+// closures, may capture only sync plumbing, and never drain a mailbox
+// off the barrier.
+package shardviol
+
+import (
+	"sync"
+	"time"
+)
+
+// Mailbox is a local stand-in for sim.Mailbox (testdata cannot import
+// internal/sim); shard-escape matches Drain by receiver type name.
+type Mailbox struct{ q []int }
+
+// Post records one cross-shard value.
+func (m *Mailbox) Post(v int) { m.q = append(m.q, v) }
+
+// Drain hands the queued values to f and clears the queue.
+func (m *Mailbox) Drain(f func(int)) {
+	for _, v := range m.q {
+		f(v)
+	}
+	m.q = m.q[:0]
+}
+
+// Clock proves a bridge file keeps the rest of the determinism rules.
+func Clock() int64 {
+	return time.Now().UnixNano() // want determinism "time.Now"
+}
+
+// Escapes captures a shared counter: every worker mutates it.
+func Escapes(shards []*Mailbox) {
+	var wg sync.WaitGroup
+	total := 0
+	for i := range shards {
+		wg.Add(1)
+		go func(mb *Mailbox) {
+			defer wg.Done()
+			mb.Post(1)
+			total++ // want shard-escape "captures total"
+		}(shards[i])
+	}
+	wg.Wait()
+	_ = total
+}
+
+// Unjoined spawns a worker nothing in this function waits for.
+func Unjoined(mb *Mailbox) {
+	go func(mb *Mailbox) { // want shard-escape "not joined inside Unjoined"
+		mb.Post(1)
+	}(mb)
+}
+
+// DrainOffBarrier drains on a worker instead of at the barrier.
+func DrainOffBarrier(mb *Mailbox) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func(mb *Mailbox) {
+		defer wg.Done()
+		mb.Drain(func(int) {}) // want shard-escape "Drain inside a worker goroutine"
+	}(mb)
+	wg.Wait()
+}
+
+func runWorker(mb *Mailbox) { mb.Post(2) }
+
+// NamedWorker hides the worker body behind a declared function.
+func NamedWorker(mb *Mailbox) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go runWorker(mb) // want shard-escape "inline function literal"
+	wg.Wait()
+}
+
+// CleanWindow is the parallel-engine shape: per-shard workers fed by
+// channels, joined before return, drains at the barrier only.
+func CleanWindow(shards []*Mailbox) {
+	var step sync.WaitGroup
+	feed := make([]chan int, len(shards))
+	for i := range shards {
+		feed[i] = make(chan int, 1)
+		step.Add(1)
+		go func(mb *Mailbox, ch chan int) {
+			defer step.Done()
+			for v := range ch {
+				mb.Post(v)
+			}
+		}(shards[i], feed[i])
+	}
+	for _, ch := range feed {
+		ch <- 1
+		close(ch)
+	}
+	step.Wait()
+	for _, mb := range shards {
+		mb.Drain(func(int) {})
+	}
+}
+
+// SuppressedCapture is the acknowledged exception shape: a reasoned
+// line-level suppression on the capture site itself.
+func SuppressedCapture(mb *Mailbox) {
+	var wg sync.WaitGroup
+	count := 0
+	wg.Add(1)
+	go func() {
+		//lint:ignore shard-escape fixture: capture acknowledged with a reason
+		count++
+		wg.Done()
+	}()
+	wg.Wait()
+	_ = count
+}

@@ -36,7 +36,7 @@ type Cache struct {
 	dir string
 
 	mu    sync.Mutex
-	atime map[string]int64 // key -> last access, unix nanoseconds
+	atime map[string]int64 // guarded by mu; key -> last access, unix nanoseconds
 	now   func() time.Time
 }
 
